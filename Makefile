@@ -1,0 +1,22 @@
+# Canonical developer commands for the OSP reproduction.
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	pip install -e . || python setup.py develop --no-deps
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -1,0 +1,72 @@
+"""Ablation — extended baselines: SSP, Sync-Switch, duplex R²SP.
+
+The related-work systems the paper discusses (§2.2.1, §7) but does not
+plot: SSP's staleness bound trades a little BSP-ness for ASP-ness; DSSP
+adapts that bound to observed speeds; Sync-Switch interpolates BSP→ASP
+over epochs; WFBP overlaps pushes with the backward pass (but only the
+backward pass — the structural limit OSP escapes by deferring into the
+whole next iteration); the idealised duplex R²SP shows how much of R²SP's
+gap to OSP is service discipline.
+"""
+
+from conftest import bench_quick
+
+from repro.core import OSP
+from repro.harness import WorkloadConfig, timing_trainer
+from repro.metrics.report import format_table
+from repro.sync import ASP, BSP, DSSP, R2SP, SSP, SyncSwitch, WFBP
+
+
+def _run():
+    quick = bench_quick()
+    epochs = 16 if quick else 40
+    cfg = WorkloadConfig(
+        "resnet50-cifar10",
+        n_epochs=epochs,
+        iterations_per_epoch=6,
+        sigma=0.25,
+    )
+    out = {}
+    for sync in [
+        BSP(),
+        WFBP(),
+        SSP(staleness=3),
+        DSSP(),
+        SyncSwitch(switch_epoch=epochs // 2),
+        R2SP(),
+        R2SP(duplex=True),
+        ASP(),
+        OSP(),
+    ]:
+        res = timing_trainer(cfg, sync).run()
+        out[sync.name] = (res.throughput, res.mean_bst)
+    return out
+
+
+def test_ablation_baselines(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["model", "samples/s", "BST (s)"],
+            [(n, f"{t:.1f}", f"{b:.3f}") for n, (t, b) in out.items()],
+            title="Extended baselines (timing mode, ResNet50, 8 workers)",
+        )
+    )
+    thr = {n: t for n, (t, _b) in out.items()}
+    # SSP sits between BSP and ASP (bounded staleness).
+    assert thr["bsp"] < thr["ssp"] <= thr["asp"] * 1.05
+    # Sync-Switch lands between its two phases.
+    assert thr["bsp"] < thr["sync-switch"] < thr["asp"] * 1.05
+    # Duplex R2SP beats half-duplex R2SP (the service-discipline gap).
+    assert thr["r2sp-duplex"] > thr["r2sp"]
+    # WFBP beats BSP (it hides the backward window) but not OSP (which
+    # hides into the whole next iteration) — the paper's §2.2.1 contrast.
+    assert thr["bsp"] < thr["wfbp"] < thr["osp"]
+    # DSSP stays in the asynchronous family's range.
+    assert thr["bsp"] < thr["dssp"] <= thr["asp"] * 1.05
+    # OSP beats every barrier-or-serialised baseline. (SSP/ASP are the
+    # idealised asynchronous family — see EXPERIMENTS.md; OSP matches them
+    # only in steady state, which this whole-run average does not isolate.)
+    for name in ("bsp", "wfbp", "r2sp", "sync-switch"):
+        assert thr["osp"] > thr[name], name

@@ -1,0 +1,52 @@
+"""Ablation — LGP variants (paper §4.2).
+
+Compares OSP with the paper's local-gradient LGP, with EMA-LGP (which the
+paper implemented, found unhelpful and costly, and dropped), and with no
+correction at all (training on stale unimportant parameters).
+"""
+
+from conftest import bench_quick
+
+from repro.core import OSP
+from repro.harness import WorkloadConfig, make_numeric_dataset, numeric_trainer
+from repro.metrics.report import format_table
+
+
+def _run():
+    quick = bench_quick()
+    cfg = WorkloadConfig(
+        "resnet50-cifar10",
+        n_workers=8,
+        n_epochs=8 if quick else 24,
+        sigma=0.3,
+        seed=0,
+    )
+    data = make_numeric_dataset(cfg.card, n_samples=1600 if quick else 6000, seed=0)
+    out = {}
+    mem = {}
+    for lgp in ("local", "ema", "none"):
+        trainer = numeric_trainer(cfg, OSP(lgp=lgp), data=data, lr=0.2)
+        res = trainer.run()
+        out[lgp] = res.best_metric
+        correctors = trainer.sync_model._correctors
+        mem[lgp] = sum(
+            getattr(c, "memory_overhead_bytes", 0) for c in correctors if c
+        )
+    return out, mem
+
+
+def test_ablation_lgp(benchmark):
+    best, mem = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["lgp mode", "top-1", "extra worker memory (bytes)"],
+            [(k, f"{v:.3f}", mem[k]) for k, v in best.items()],
+            title="Ablation — LGP variants (§4.2)",
+        )
+    )
+    # The paper's findings: LGP is needed (no-LGP loses accuracy), and
+    # EMA-LGP brings no improvement while costing memory.
+    assert best["local"] > best["none"]
+    assert best["local"] >= best["ema"] - 0.05
+    assert mem["ema"] > 0 and mem["local"] == 0

@@ -1,0 +1,62 @@
+"""Ablation — non-IID data (paper §2.2.1).
+
+The paper criticises HSP for "non-compliance with training on
+non-independent identically distributed datasets". OSP makes no IID
+assumption: its importance ranking and LGP correction operate on the
+*aggregated* gradient. We verify OSP still tracks BSP's accuracy when the
+workers' shards are Dirichlet-skewed, while ASP degrades further.
+"""
+
+from conftest import bench_quick
+
+from repro.cluster import ClusterSpec, DistributedTrainer, NumericEngine, TrainingPlan
+from repro.core import OSP
+from repro.data import make_image_classification, train_test_split
+from repro.hardware import LognormalJitter
+from repro.metrics.report import format_table
+from repro.nn.models import get_card
+from repro.sync import ASP, BSP
+
+
+def _run():
+    quick = bench_quick()
+    card = get_card("resnet50-cifar10")
+    ds = make_image_classification(
+        1600 if quick else 6000, n_classes=10, image_size=16, noise=2.0, seed=0
+    )
+    train, test = train_test_split(ds, test_fraction=0.25, seed=1)
+    out = {}
+    for sharding in ("iid", "dirichlet"):
+        for sync in (BSP(), ASP(), OSP()):
+            spec = ClusterSpec(n_workers=8, jitter=LognormalJitter(sigma=0.3, seed=0))
+            plan = TrainingPlan(n_epochs=8 if quick else 24, lr=0.1, momentum=0.9)
+            engine = NumericEngine(
+                card,
+                train,
+                test,
+                spec,
+                batch_size=25,
+                seed=0,
+                sharding=sharding,
+                dirichlet_alpha=0.5,
+            )
+            res = DistributedTrainer(spec, plan, engine, sync).run()
+            out[(sharding, res.sync_name)] = res.best_metric
+    return out
+
+
+def test_ablation_noniid(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["sharding", "sync", "top-1"],
+            [(sh, sy, f"{m:.3f}") for (sh, sy), m in out.items()],
+            title="Ablation — IID vs Dirichlet(0.5) non-IID shards",
+        )
+    )
+    # OSP tracks BSP under non-IID data too (no IID assumption)...
+    assert out[("dirichlet", "osp")] >= out[("dirichlet", "bsp")] - 0.08
+    # ...and stays clearly above ASP in both regimes.
+    for sharding in ("iid", "dirichlet"):
+        assert out[(sharding, "osp")] > out[(sharding, "asp")] + 0.03

@@ -1,0 +1,87 @@
+"""Ablation — §6.1 scaling: multi-PS synchronization groups and worker-count
+sweeps.
+
+(1) The planned multi-PS sharding (BytePS-style) divides the predicted BST
+by roughly the PS count. (2) OSP's advantage over BSP *grows* with the
+worker count, because incast scales with N while OSP's deferral hides it.
+"""
+
+from conftest import bench_quick
+
+from repro.core import OSP
+from repro.cluster.spec import ClusterSpec, TrainingPlan
+from repro.cluster.engines import TimingEngine
+from repro.cluster.trainer import DistributedTrainer
+from repro.harness import WorkloadConfig, timing_trainer
+from repro.hardware import NoJitter
+from repro.metrics.report import format_table
+from repro.nn.models import get_card
+from repro.sync import BSP, ShardedBSP
+
+
+def _run():
+    quick = bench_quick()
+    # (1) multi-PS sharded synchronization: planned vs measured BST
+    card = get_card("resnet50-cifar10")
+    ps_rows = []
+    for n_ps in (1, 2, 4, 8):
+        spec = ClusterSpec(n_workers=8, jitter=NoJitter(), n_ps=n_ps)
+        plan_cfg = TrainingPlan(n_epochs=1, iterations_per_epoch=3 if quick else 10)
+        engine = TimingEngine(card, spec, total_iterations=plan_cfg.iterations_per_epoch)
+        sm = ShardedBSP()
+        res = DistributedTrainer(spec, plan_cfg, engine, sm).run()
+        predicted = sm.plan.predicted_bst(8, spec.link.bandwidth)
+        ps_rows.append(
+            (n_ps, sm.plan.max_shard_bytes / 1e6, sm.plan.balance, predicted, res.mean_bst)
+        )
+
+    # (2) OSP-vs-BSP speedup vs worker count
+    sweep_rows = []
+    for n in (2, 4, 8) if quick else (2, 4, 8, 16):
+        cfg = WorkloadConfig(
+            "resnet50-cifar10",
+            n_workers=n,
+            n_epochs=12 if quick else 30,
+            iterations_per_epoch=6,
+        )
+        thr = {}
+        for sync in (BSP(), OSP()):
+            res = timing_trainer(cfg, sync).run()
+            thr[sync.name] = res.throughput
+        sweep_rows.append((n, thr["bsp"], thr["osp"], thr["osp"] / thr["bsp"]))
+    return ps_rows, sweep_rows
+
+
+def test_ablation_scaling(benchmark):
+    ps_rows, sweep_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["n_ps", "max shard (MB)", "balance", "predicted BST (s)", "measured BST (s)"],
+            [
+                (n, f"{m:.1f}", f"{b:.3f}", f"{t:.3f}", f"{meas:.3f}")
+                for n, m, b, t, meas in ps_rows
+            ],
+            title="§6.1 — multi-PS sharded synchronization (ResNet50, 8 workers)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["workers", "BSP samples/s", "OSP samples/s", "OSP/BSP"],
+            [(n, f"{b:.1f}", f"{o:.1f}", f"{r:.2f}") for n, b, o, r in sweep_rows],
+            title="OSP speedup over BSP vs cluster size",
+        )
+    )
+
+    # Multi-PS: measured BST strictly decreases with PS count and tracks
+    # the plan's prediction within 25% (prediction omits latency + PS
+    # aggregation service).
+    measured = [meas for _n, _m, _b, _t, meas in ps_rows]
+    assert measured == sorted(measured, reverse=True)
+    for _n, _m, _b, predicted, meas in ps_rows:
+        assert predicted <= meas <= 1.25 * predicted
+    # OSP/BSP speedup grows with the worker count (incast scales with N).
+    ratios = [r for _n, _b, _o, r in sweep_rows]
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 1.4

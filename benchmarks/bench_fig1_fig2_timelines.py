@@ -1,0 +1,38 @@
+"""Figs. 1 & 2 — BSP vs ASP iteration timelines under stragglers.
+
+Regenerates the per-worker timeline bars of the motivation figures and the
+T_BSP vs T_ASP comparison (§2.1.2: T_ASP can be several times smaller due
+to incast + stragglers in BSP).
+"""
+
+from conftest import bench_quick
+
+from repro.harness.figures import fig1_fig2_timelines
+from repro.metrics.timeline import render_timeline
+
+
+def test_fig1_fig2_timelines(benchmark):
+    data = benchmark.pedantic(
+        fig1_fig2_timelines, kwargs={"quick": bench_quick()}, rounds=1, iterations=1
+    )
+
+    for name in ("bsp", "asp"):
+        print()
+        print(f"Fig. {1 if name == 'bsp' else 2} timeline ({name.upper()}, first 3 iterations):")
+        print(render_timeline(data["records"][name]))
+    print(
+        f"\nmean iteration: T_BSP={data['t_bsp']:.3f}s  T_ASP={data['t_asp']:.3f}s  "
+        f"ratio={data['bsp_over_asp']:.2f}x  (paper cites up to 6x from [23])"
+    )
+
+    # Shape assertions: ASP iterations are faster on average; BSP's barrier
+    # makes all workers of one iteration finish simultaneously.
+    assert data["bsp_over_asp"] > 1.3
+    bsp_iter0_ends = {
+        round(end, 6) for (_w, it, _s, end) in data["timelines"]["bsp"] if it == 0
+    }
+    assert len(bsp_iter0_ends) == 1  # global barrier: same finish instant
+    asp_iter0_ends = {
+        round(end, 6) for (_w, it, _s, end) in data["timelines"]["asp"] if it == 0
+    }
+    assert len(asp_iter0_ends) > 1  # asynchronous finishes

@@ -1,0 +1,31 @@
+"""Fig. 3 — communication share grows as DDL training scales (§2.2).
+
+ResNet50, PS-based BSP training on 1/2/4/8 workers: the fraction of each
+iteration spent synchronizing rises with the worker count, so adding nodes
+is decreasingly cost-effective.
+"""
+
+from conftest import bench_quick
+
+from repro.harness.figures import fig3_comm_share
+from repro.metrics.report import format_table
+
+
+def test_fig3_comm_share(benchmark):
+    rows = benchmark.pedantic(
+        fig3_comm_share, kwargs={"quick": bench_quick()}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["workers", "BCT_s", "BST_s", "comm_share"],
+            [(n, f"{b:.3f}", f"{s:.3f}", f"{c:.1%}") for n, b, s, c in rows],
+            title="Fig. 3 — communication share vs cluster size (ResNet50, BSP)",
+        )
+    )
+
+    shares = [c for _n, _b, _s, c in rows]
+    # Monotone growth with scale, spanning a wide range (paper's bar chart).
+    assert shares == sorted(shares)
+    assert shares[-1] > 2 * shares[0]
+    assert shares[-1] > 0.4

@@ -1,0 +1,49 @@
+"""Fig. 6(b) — top-1 accuracy / F1 per workload and sync model.
+
+Paper claims: OSP reaches near-optimal accuracy compared to BSP and R²SP,
+while ASP performs the worst (stale parameters). These are *numeric* runs:
+real gradients on mini-scale models through the same event-driven cluster.
+"""
+
+from conftest import bench_quick, cached_accuracy
+
+from repro.metrics.report import format_table
+
+from repro.harness import EVALUATION_WORKLOADS
+
+# Quick mode covers one image + the NLP workload; full mode all five.
+WORKLOADS = (
+    ("resnet50-cifar10", "bertbase-squad")
+    if bench_quick()
+    else EVALUATION_WORKLOADS
+)
+
+
+def test_fig6b_accuracy(benchmark):
+    results = benchmark.pedantic(
+        lambda: {w: cached_accuracy(w) for w in WORKLOADS}, rounds=1, iterations=1
+    )
+
+    rows = []
+    for workload, per_sync in results.items():
+        metric_name = "F1" if workload == "bertbase-squad" else "top-1"
+        for sync, d in per_sync.items():
+            rows.append((workload, sync, metric_name, f"{d['best_metric']:.3f}"))
+    print()
+    print(
+        format_table(
+            ["workload", "sync", "metric", "best"],
+            rows,
+            title="Fig. 6(b) — convergence accuracy",
+        )
+    )
+
+    for workload, per_sync in results.items():
+        best = {s: d["best_metric"] for s, d in per_sync.items()}
+        # The stale methods (ASP, and R²SP at 8 workers — §2.2.1 notes
+        # R²SP's staleness grows with the worker count) sit at the bottom;
+        # OSP stays within a small gap of BSP (paper: no accuracy loss).
+        assert best["asp"] <= min(best.values()) + 0.02, workload
+        assert best["osp"] >= best["bsp"] - 0.08, workload
+        assert best["osp"] > best["asp"] + 0.03, workload
+        assert best["bsp"] > best["asp"] + 0.03, workload

@@ -1,0 +1,40 @@
+"""Fig. 6(d) — Batch Synchronization Time (BST) per workload and sync model.
+
+Paper claim: OSP's per-round synchronization time is significantly lower
+than every baseline's (the key to its throughput), because only the
+important-gradient RS stage remains in the critical path.
+"""
+
+from collections import defaultdict
+
+from conftest import bench_quick
+
+from repro.harness.figures import fig6d_bst
+from repro.metrics.report import format_table
+
+
+def test_fig6d_bst(benchmark):
+    rows = benchmark.pedantic(
+        fig6d_bst, kwargs={"quick": bench_quick()}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["workload", "sync", "mean_BST_s", "steady_BST_s"],
+            [(w, s, f"{m:.3f}", f"{ss:.3f}") for w, s, m, ss in rows],
+            title="Fig. 6(d) — batch synchronization time",
+        )
+    )
+
+    steady = defaultdict(dict)
+    for workload, sync, _m, ss in rows:
+        steady[workload][sync] = ss
+
+    for workload, per_sync in steady.items():
+        # OSP's steady-state BST is a large reduction vs BSP and R2SP
+        # (paper: "significantly reduced")...
+        assert per_sync["osp"] < 0.5 * per_sync["bsp"], workload
+        assert per_sync["osp"] < 0.8 * per_sync["r2sp"], workload
+        # ...and within a small factor of our idealised ASP (whose every
+        # transfer self-staggers perfectly; see EXPERIMENTS.md).
+        assert per_sync["osp"] <= 1.5 * per_sync["asp"], workload

@@ -1,0 +1,47 @@
+"""Fig. 7 — time-to-accuracy curves on image classification.
+
+Paper claim: OSP's throughput advantage translates into the fastest
+convergence in wall-clock (virtual) time with no accuracy loss — its curve
+sits left of BSP/R²SP and tops out at the same accuracy, while ASP
+plateaus lower.
+"""
+
+from conftest import cached_accuracy
+
+from repro.metrics.report import format_series
+
+WORKLOAD = "resnet50-cifar10"
+
+
+def test_fig7_tta_images(benchmark):
+    results = benchmark.pedantic(
+        lambda: cached_accuracy(WORKLOAD), rounds=1, iterations=1
+    )
+
+    print()
+    for sync, d in results.items():
+        print(format_series(f"fig7[{sync}]", d["tta"], y_label="top1"))
+
+    end_time = {s: d["tta"][-1][0] for s, d in results.items()}
+    # Same iteration budget: OSP finishes it faster than BSP...
+    assert end_time["osp"] < end_time["bsp"]
+    # ...reaching BSP-level accuracy (no loss), above ASP's plateau.
+    best = {s: d["best_metric"] for s, d in results.items()}
+    assert best["osp"] >= best["bsp"] - 0.08
+    assert best["osp"] > best["asp"]
+
+    # The paper-relevant crossover: virtual time to a common high accuracy.
+    # OSP reaches it no later than BSP; the stale methods (ASP, and R²SP at
+    # 8 workers, §2.2.1) plateau below it or get there later.
+    target = 0.85 * best["bsp"]
+
+    def time_to(sync):
+        for t, m in results[sync]["tta"]:
+            if m >= target:
+                return t
+        return float("inf")
+
+    # 1.15: evaluation is per-epoch, so the crossing time quantises to an
+    # epoch boundary at quick scale (OSP's late epochs are the fast ones).
+    assert time_to("osp") <= time_to("bsp") * 1.15
+    assert time_to("osp") <= min(time_to("asp"), time_to("r2sp"))

@@ -1,0 +1,30 @@
+"""Fig. 8 — time-to-F1 curve for BERT/SQuAD fine-tuning.
+
+Paper claim: OSP also converges fastest on the NLP task, with a smaller
+margin than on image tasks (its throughput there is only near-ASP).
+"""
+
+from conftest import cached_accuracy
+
+from repro.metrics.report import format_series
+
+WORKLOAD = "bertbase-squad"
+
+
+def test_fig8_tta_nlp(benchmark):
+    results = benchmark.pedantic(
+        lambda: cached_accuracy(WORKLOAD), rounds=1, iterations=1
+    )
+
+    print()
+    for sync, d in results.items():
+        print(format_series(f"fig8[{sync}]", d["tta"], y_label="F1"))
+
+    best = {s: d["best_metric"] for s, d in results.items()}
+    end_time = {s: d["tta"][-1][0] for s, d in results.items()}
+
+    # OSP completes the budget well ahead of BSP/R2SP and lands within a
+    # small gap of BSP's F1 (no accuracy loss).
+    assert end_time["osp"] < 0.8 * end_time["bsp"]
+    assert end_time["osp"] < end_time["r2sp"]
+    assert best["osp"] >= best["bsp"] - 0.08

@@ -1,0 +1,45 @@
+"""Fig. 9 — batch computation time with a co-located PS (§5.4).
+
+Paper claims: OSP-S (standalone PS) adds essentially no worker-side
+compute vs BSP; OSP-C (PS co-located on a worker) inflates that worker's
+BCT by a bounded 3–8%, lowest for the FLOP-heavy InceptionV3 and highest
+for the parameter-heavy VGG16 (PGP cost scales with parameters, compute
+with FLOPs).
+"""
+
+from conftest import bench_quick
+
+from repro.harness.figures import fig9_bct_colocated
+from repro.metrics.report import format_table
+
+
+def test_fig9_bct_colocated(benchmark):
+    rows = benchmark.pedantic(
+        fig9_bct_colocated, kwargs={"quick": bench_quick()}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["workload", "BCT_bsp_s", "BCT_osp_s_s", "BCT_osp_c_ps_worker_s", "overhead"],
+            [
+                (w, f"{b:.3f}", f"{s:.3f}", f"{c:.3f}", f"{o:.1f}%")
+                for w, b, s, c, o in rows
+            ],
+            title="Fig. 9 — BCT overhead of co-located PS (paper: 3-8%, "
+            "min InceptionV3, max VGG16)",
+        )
+    )
+
+    overhead = {w: o for w, _b, _s, _c, o in rows}
+    bct = {w: (b, s) for w, b, s, _c, _o in rows}
+
+    # OSP-S: no worker-side overhead vs BSP.
+    for w, (b, s) in bct.items():
+        assert abs(s - b) / b < 0.01, w
+    # OSP-C: bounded overhead in (or near) the paper's 3-8% band.
+    for w, o in overhead.items():
+        assert 2.0 < o < 10.0, (w, o)
+    # Ordering endpoints: InceptionV3 minimum (paper: 3%); VGG16 at or near
+    # the maximum (paper: 8%).
+    assert overhead["inceptionv3-cifar100"] == min(overhead.values())
+    assert overhead["vgg16-cifar10"] >= max(overhead.values()) - 0.5

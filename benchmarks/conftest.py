@@ -1,0 +1,39 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's figures/tables (see
+DESIGN.md §4) and prints the rows/series with ``-s``. Set
+``REPRO_BENCH_FULL=1`` for larger (slower) configurations with the same
+structure.
+
+The four numeric (accuracy) figures share one underlying experiment
+(`accuracy_experiment`); a session cache runs each workload once and the
+benches extract their views, so the suite stays in the minutes range.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.figures import accuracy_experiment
+
+
+def bench_quick() -> bool:
+    """False when REPRO_BENCH_FULL=1 (full-scale benchmark runs)."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+
+
+_ACCURACY_CACHE: dict[str, dict] = {}
+
+
+def cached_accuracy(workload: str) -> dict:
+    """Run (once per session) the numeric experiment behind Figs. 6b/6c/7/8."""
+    if workload not in _ACCURACY_CACHE:
+        _ACCURACY_CACHE[workload] = accuracy_experiment(workload, quick=bench_quick())
+    return _ACCURACY_CACHE[workload]
+
+
+@pytest.fixture
+def quick() -> bool:
+    return bench_quick()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Gradient compression vs OSP's "defer, don't drop" (paper §2.2.2).
+
+Trains the same model (single-node SGD for isolation) while passing every
+gradient through Top-K / Random-K / 8-bit compressors, and compares the
+final accuracy and wire bytes against the uncompressed baseline. Top-K at
+aggressive ratios loses accuracy — exactly the degradation OSP avoids by
+deferring (and eventually delivering) every gradient.
+
+Run:  python examples/compression_comparison.py
+"""
+
+import numpy as np
+
+from repro.compression import RandomK, ResidualMemory, TopK, Uniform8Bit, dense_bytes
+from repro.data import make_image_classification, train_test_split
+from repro.metrics import format_table
+from repro.nn import accuracy, cross_entropy
+from repro.nn.models import MLP
+from repro.optim import SGD
+
+
+def train_with_compressor(compressor, train, test, epochs=12, seed=0):
+    model = MLP([3 * 16 * 16, 64, 10], seed=seed)
+    opt = SGD(model, lr=0.1, momentum=0.9)
+    rng = np.random.default_rng(seed)
+    wire = 0
+    n = len(train)
+    for _epoch in range(epochs):
+        perm = rng.permutation(n)
+        for start in range(0, n - 32, 32):
+            idx = perm[start : start + 32]
+            model.zero_grad()
+            loss = cross_entropy(model(train.inputs[idx]), train.targets[idx])
+            loss.backward()
+            grads = opt.gradient_dict()
+            if compressor is None:
+                wire += dense_bytes(grads)
+            else:
+                payload, nbytes = compressor.compress(grads)
+                grads = compressor.decompress(payload)
+                wire += nbytes
+            opt.step_with_grads(grads)
+    return accuracy(model(test.inputs), test.targets), wire
+
+
+def main() -> None:
+    ds = make_image_classification(2000, n_classes=10, image_size=16, noise=2.0, seed=0)
+    train, test = train_test_split(ds, test_fraction=0.25, seed=1)
+
+    configs = [
+        ("dense (no compression)", None),
+        ("top-k 10%", TopK(0.10)),
+        ("top-k 1%", TopK(0.01)),
+        ("top-k 1% + error feedback", ResidualMemory(TopK(0.01))),
+        ("random-k 10%", RandomK(0.10, seed=0)),
+        ("8-bit quantization", Uniform8Bit()),
+    ]
+
+    rows = []
+    for label, comp in configs:
+        acc, wire = train_with_compressor(comp, train, test)
+        rows.append((label, f"{acc:.3f}", f"{wire / 1e6:.1f}"))
+
+    print(
+        format_table(
+            ["method", "top-1", "wire MB"],
+            rows,
+            title="Gradient compression: accuracy vs transmitted bytes",
+        )
+    )
+    print(
+        "\nAggressive sparsification trades accuracy for bandwidth; error"
+        "\nfeedback recovers some of it by *delaying* rather than dropping —"
+        "\nthe same principle OSP applies at the synchronization-model level."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Image-classification cluster study (the paper's §5.2/§5.3 workflow).
+
+Runs the four synchronization models on the ResNet50/CIFAR-10 workload,
+prints the throughput/accuracy summary plus time-to-accuracy curves, and
+shows how OSP's S(G^u) budget ramps with Algorithm 1.
+
+Run:  python examples/image_classification_cluster.py
+"""
+
+from repro.core import OSP
+from repro.harness import WorkloadConfig, make_numeric_dataset, numeric_trainer
+from repro.harness.figures import paper_sync_models
+from repro.metrics import format_series, format_table
+
+
+def main() -> None:
+    cfg = WorkloadConfig(
+        "resnet50-cifar10", n_workers=4, n_epochs=8, sigma=0.3, seed=0
+    )
+    data = make_numeric_dataset(cfg.card, n_samples=1600, seed=0)
+
+    rows = []
+    curves = {}
+    budgets = {}
+    for sync in paper_sync_models():
+        trainer = numeric_trainer(cfg, sync, data=data)
+        if isinstance(sync, OSP):
+            trainer.ctx.epoch_end_hooks.append(
+                lambda e, loss, m, s=sync: budgets.setdefault(e, s.current_budget)
+            )
+        result = trainer.run()
+        rows.append(
+            (
+                result.sync_name,
+                f"{result.throughput:.1f}",
+                f"{result.mean_bst * 1e3:.0f}",
+                f"{result.best_metric:.3f}",
+                result.recorder.iterations_to_best(),
+            )
+        )
+        curves[result.sync_name] = result.recorder.time_to_accuracy()
+
+    print(
+        format_table(
+            ["sync", "samples/s", "BST (ms)", "top-1", "iters-to-best"],
+            rows,
+            title="ResNet50/CIFAR-10 on 4 workers (numeric mode)",
+        )
+    )
+
+    print("\nTime-to-accuracy curves (virtual seconds -> top-1):")
+    for name, curve in curves.items():
+        print(" ", format_series(name, curve, y_label="top1"))
+
+    print("\nOSP Algorithm-1 deferred-byte budget per epoch (bytes):")
+    for epoch in sorted(budgets):
+        print(f"  epoch {epoch}: S(G^u) = {budgets[epoch] / 1e6:.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

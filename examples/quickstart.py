@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: train a small model on a simulated 4-worker cluster with
+OSP and compare against BSP.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import ClusterSpec, DistributedTrainer, NumericEngine, TrainingPlan
+from repro.core import OSP
+from repro.data import make_image_classification, train_test_split
+from repro.hardware import LognormalJitter
+from repro.metrics import format_table
+from repro.nn.models import get_card
+from repro.sync import BSP
+
+
+def main() -> None:
+    # 1. A workload: the ResNet50/CIFAR-10 card gives us paper-scale
+    #    communication sizes and compute times plus a mini model that we
+    #    train for real on synthetic CIFAR-like data.
+    card = get_card("resnet50-cifar10")
+    dataset = make_image_classification(
+        1600, n_classes=10, image_size=16, noise=2.0, seed=0
+    )
+    train, test = train_test_split(dataset, test_fraction=0.25, seed=1)
+
+    # 2. A cluster: 4 workers + 1 standalone PS on 10 Gbps links, with mild
+    #    compute-time jitter (what makes barriers expensive).
+    spec = ClusterSpec(n_workers=4, jitter=LognormalJitter(sigma=0.3, seed=0))
+    plan = TrainingPlan(n_epochs=6, lr=0.1, momentum=0.9)
+
+    # 3. Run the same training under BSP and OSP.
+    rows = []
+    for sync_model in (BSP(), OSP()):
+        engine = NumericEngine(card, train, test, spec, batch_size=25, seed=0)
+        result = DistributedTrainer(spec, plan, engine, sync_model).run()
+        rows.append(
+            (
+                result.sync_name,
+                f"{result.throughput:.1f}",
+                f"{result.mean_bst * 1e3:.0f}",
+                f"{result.best_metric:.3f}",
+                f"{result.wall_time:.1f}",
+            )
+        )
+
+    print(
+        format_table(
+            ["sync", "throughput (samples/s)", "BST (ms)", "top-1", "virtual time (s)"],
+            rows,
+            title="Quickstart: BSP vs OSP on a simulated 4-worker cluster",
+        )
+    )
+    print(
+        "\nOSP finishes the same training budget faster at the same accuracy —"
+        "\nits 2-stage synchronization hides most gradient traffic inside compute."
+    )
+
+
+if __name__ == "__main__":
+    main()

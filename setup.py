@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the `wheel` package (needed for PEP-660 editable wheels) is absent.
+`pip install -e . --no-build-isolation` falls back to `setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,234 @@
+"""Higher-level differentiable operations: conv, pooling, softmax, embedding.
+
+All kernels are fully vectorised (im2col for convolution, stride-tricks for
+pooling windows) per the HPC guide: no Python loops over batch or spatial
+dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, unbroadcast
+
+
+# --------------------------------------------------------------- softmax
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    log_sum = np.log(exp.sum(axis=axis, keepdims=True))
+    out_data = shifted - log_sum
+    softmax = exp / exp.sum(axis=axis, keepdims=True)
+
+    def grad_fn(g):
+        return g - softmax * g.sum(axis=axis, keepdims=True)
+
+    return Tensor._from_op(out_data, [(x, grad_fn)], "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def grad_fn(g):
+        dot = (g * out_data).sum(axis=axis, keepdims=True)
+        return out_data * (g - dot)
+
+    return Tensor._from_op(out_data, [(x, grad_fn)], "softmax")
+
+
+# --------------------------------------------------------------- embedding
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Row-gather ``weight[indices]`` with scatter-add backward."""
+    indices = np.asarray(indices)
+    if not np.issubdtype(indices.dtype, np.integer):
+        raise TypeError(f"indices must be integers, got {indices.dtype}")
+    out_data = weight.data[indices]
+
+    def grad_fn(g):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices, g)
+        return full
+
+    return Tensor._from_op(out_data, [(weight, grad_fn)], "embedding")
+
+
+# --------------------------------------------------------------- im2col conv
+def _im2col_indices(x_shape, kh, kw, stride, padding):
+    n, c, h, w = x_shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(c), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D convolution (NCHW) via im2col.
+
+    ``x``: (N, C_in, H, W); ``weight``: (C_out, C_in, KH, KW);
+    ``bias``: (C_out,) or None.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in}, weight {c_in_w}")
+    if h + 2 * padding < kh or w + 2 * padding < kw:
+        raise ValueError(
+            f"kernel {kh}x{kw} larger than padded input "
+            f"{h + 2 * padding}x{w + 2 * padding}"
+        )
+    # Output size floors (PyTorch semantics): trailing rows/cols that do not
+    # fit a full window are ignored by the im2col index set.
+
+    k, i, j, out_h, out_w = _im2col_indices(x.shape, kh, kw, stride, padding)
+    x_padded = np.pad(
+        x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    # cols: (C_in*KH*KW, out_h*out_w, N) -> reshape for matmul
+    cols = x_padded[:, k, i, j]  # (N, C_in*KH*KW, out_h*out_w)
+    w_row = weight.data.reshape(c_out, -1)  # (C_out, C_in*KH*KW)
+    out = np.einsum("of,nfp->nop", w_row, cols, optimize=True)
+    out_data = out.reshape(n, c_out, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    def grad_x(g):
+        g2 = g.reshape(n, c_out, -1)  # (N, C_out, P)
+        dcols = np.einsum("of,nop->nfp", w_row, g2, optimize=True)
+        dx_padded = np.zeros_like(x_padded)
+        np.add.at(
+            dx_padded,
+            (slice(None), k, i, j),
+            dcols,
+        )
+        if padding:
+            return dx_padded[:, :, padding:-padding, padding:-padding]
+        return dx_padded
+
+    def grad_w(g):
+        g2 = g.reshape(n, c_out, -1)
+        dw_row = np.einsum("nop,nfp->of", g2, cols, optimize=True)
+        return dw_row.reshape(weight.shape)
+
+    parents = [(x, grad_x), (weight, grad_w)]
+    if bias is not None:
+        parents.append((bias, lambda g: g.sum(axis=(0, 2, 3))))
+    return Tensor._from_op(out_data, parents, "conv2d")
+
+
+# --------------------------------------------------------------- pooling
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling (NCHW) with non-overlapping or strided windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    if (h - kernel) % stride or (w - kernel) % stride:
+        raise ValueError(
+            f"pool geometry does not divide: {h}x{w}, kernel {kernel}, stride {stride}"
+        )
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+
+    if stride == kernel and h % kernel == 0 and w % kernel == 0:
+        # Fast path: reshape into blocks.
+        blocks = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+        out_data = blocks.max(axis=(3, 5))
+
+        def grad_fn(g):
+            expanded = out_data[:, :, :, None, :, None]
+            mask = blocks == expanded
+            # Distribute among ties equally (rare with float activations).
+            counts = mask.sum(axis=(3, 5), keepdims=True)
+            g_exp = g[:, :, :, None, :, None] / counts
+            return (mask * g_exp).reshape(n, c, h, w)
+
+        return Tensor._from_op(out_data, [(x, grad_fn)], "max_pool2d")
+
+    # General strided path via as_strided views.
+    s = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, out_h, out_w, kernel, kernel),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False,
+    )
+    out_data = windows.max(axis=(4, 5))
+
+    def grad_fn_strided(g):
+        dx = np.zeros_like(x.data)
+        flat = windows.reshape(n, c, out_h, out_w, -1)
+        arg = flat.argmax(axis=-1)
+        ky, kx = np.unravel_index(arg, (kernel, kernel))
+        oy = np.arange(out_h)[None, None, :, None]
+        ox = np.arange(out_w)[None, None, None, :]
+        iy = oy * stride + ky
+        ix = ox * stride + kx
+        nn = np.arange(n)[:, None, None, None]
+        cc = np.arange(c)[None, :, None, None]
+        np.add.at(dx, (nn, cc, iy, ix), g)
+        return dx
+
+    return Tensor._from_op(out_data, [(x, grad_fn_strided)], "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping average pooling (NCHW)."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"pool kernel {kernel} does not divide {h}x{w}")
+    out_h, out_w = h // kernel, w // kernel
+    blocks = x.data.reshape(n, c, out_h, kernel, out_w, kernel)
+    out_data = blocks.mean(axis=(3, 5))
+
+    def grad_fn(g):
+        g_exp = np.broadcast_to(
+            g[:, :, :, None, :, None] / (kernel * kernel),
+            (n, c, out_h, kernel, out_w, kernel),
+        )
+        return g_exp.reshape(n, c, h, w)
+
+    return Tensor._from_op(out_data, [(x, grad_fn)], "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over spatial dims: (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+# --------------------------------------------------------------- dropout
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: scale kept units by 1/(1-p) during training."""
+    if not (0.0 <= p < 1.0):
+        raise ValueError(f"dropout p must be in [0,1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    return Tensor._from_op(x.data * mask, [(x, lambda g: g * mask)], "dropout")
+
+
+__all__ = [
+    "avg_pool2d",
+    "conv2d",
+    "dropout",
+    "embedding",
+    "global_avg_pool2d",
+    "log_softmax",
+    "max_pool2d",
+    "softmax",
+]

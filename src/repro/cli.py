@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``run``      one (workload, sync model) training simulation
+``compare``  all four paper sync models on one workload
+``figures``  list the figure-regeneration benchmarks
+``cards``    list the model cards (paper-scale workload descriptions)
+
+Examples
+--------
+::
+
+    python -m repro run --workload resnet50-cifar10 --sync osp --mode timing
+    python -m repro run --workload bertbase-squad --sync bsp --mode numeric --epochs 4
+    python -m repro compare --workload vgg16-cifar10 --epochs 20
+    python -m repro cards
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.colocated import ColocatedOSP
+from repro.core.osp import OSP
+from repro.harness.workloads import (
+    EVALUATION_WORKLOADS,
+    WorkloadConfig,
+    make_numeric_dataset,
+    numeric_trainer,
+    timing_trainer,
+)
+from repro.metrics.report import format_table
+from repro.nn.models.registry import MODEL_CARDS
+from repro.sync import ASP, BSP, DSSP, R2SP, SSP, ShardedBSP, SyncSwitch, WFBP
+
+SYNC_FACTORIES = {
+    "bsp": BSP,
+    "asp": ASP,
+    "ssp": SSP,
+    "dssp": DSSP,
+    "r2sp": R2SP,
+    "r2sp-duplex": lambda: R2SP(duplex=True),
+    "sync-switch": SyncSwitch,
+    "sharded-bsp": ShardedBSP,
+    "wfbp": WFBP,
+    "osp": OSP,
+    "osp-c": ColocatedOSP,
+    "osp-forced-bsp": lambda: OSP(force="bsp"),
+    "osp-forced-asp": lambda: OSP(force="asp"),
+}
+
+
+def _build_trainer(args, sync_name: str):
+    cfg = WorkloadConfig(
+        args.workload,
+        n_workers=args.workers,
+        n_epochs=args.epochs,
+        iterations_per_epoch=args.iterations,
+        sigma=args.sigma,
+        seed=args.seed,
+        colocated_ps=sync_name == "osp-c",
+    )
+    sync = SYNC_FACTORIES[sync_name]()
+    if args.mode == "timing":
+        return timing_trainer(cfg, sync)
+    data = make_numeric_dataset(cfg.card, n_samples=args.samples, seed=args.seed)
+    return numeric_trainer(cfg, sync, data=data, batch_size=args.batch_size)
+
+
+def _result_row(res):
+    return (
+        res.sync_name,
+        f"{res.throughput:.1f}",
+        f"{res.mean_bst * 1e3:.0f}",
+        f"{res.mean_bct * 1e3:.0f}",
+        f"{res.best_metric:.3f}",
+        f"{res.wall_time:.1f}",
+    )
+
+
+_HEADERS = ["sync", "samples/s", "BST (ms)", "BCT (ms)", "best metric", "virtual s"]
+
+
+def cmd_run(args) -> int:
+    trainer = _build_trainer(args, args.sync)
+    res = trainer.run()
+    if args.trace:
+        from repro.netsim.trace import write_chrome_trace
+
+        n = write_chrome_trace(
+            args.trace, trainer.network.records, res.recorder.iterations
+        )
+        print(f"wrote {n} trace events to {args.trace} "
+              "(open in chrome://tracing or Perfetto)")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workload": args.workload,
+                    "sync": res.sync_name,
+                    "mode": args.mode,
+                    "throughput": res.throughput,
+                    "mean_bst": res.mean_bst,
+                    "mean_bct": res.mean_bct,
+                    "best_metric": res.best_metric,
+                    "wall_time": res.wall_time,
+                    "iterations": res.recorder.total_iterations,
+                    "tta": res.recorder.time_to_accuracy(),
+                }
+            )
+        )
+    else:
+        print(format_table(_HEADERS, [_result_row(res)], title=args.workload))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = []
+    for sync_name in ("asp", "bsp", "r2sp", "osp"):
+        res = _build_trainer(args, sync_name).run()
+        rows.append(_result_row(res))
+    print(format_table(_HEADERS, rows, title=f"{args.workload} ({args.mode} mode)"))
+    return 0
+
+
+def cmd_cards(_args) -> int:
+    rows = [
+        (
+            c.name,
+            c.family,
+            c.dataset,
+            f"{c.paper_params / 1e6:.1f}M",
+            f"{c.paper_flops_per_sample / 1e9:.1f}G",
+            c.paper_layers,
+            c.batch_size,
+            c.metric,
+        )
+        for c in MODEL_CARDS.values()
+    ]
+    print(
+        format_table(
+            ["card", "family", "dataset", "params", "FLOPs/sample", "layers", "batch", "metric"],
+            rows,
+            title="Model cards (paper-scale workload descriptions)",
+        )
+    )
+    return 0
+
+
+def cmd_figures(_args) -> int:
+    print(
+        "Figure-regeneration benchmarks (run with "
+        "`pytest benchmarks/ --benchmark-only -s`):\n"
+        "  bench_fig1_fig2_timelines   Figs. 1-2  BSP/ASP timelines\n"
+        "  bench_fig3_comm_share       Fig. 3     comm share vs scale\n"
+        "  bench_motivation_gpu_comm   §1         comm overhead vs GPU\n"
+        "  bench_fig6a_throughput      Fig. 6(a)  throughput\n"
+        "  bench_fig6b_accuracy        Fig. 6(b)  top-1 / F1\n"
+        "  bench_fig6c_iterations      Fig. 6(c)  iterations to best\n"
+        "  bench_fig6d_bst             Fig. 6(d)  batch sync time\n"
+        "  bench_fig7_tta_images       Fig. 7     time-to-accuracy (images)\n"
+        "  bench_fig8_tta_nlp          Fig. 8     time-to-F1 (BERT)\n"
+        "  bench_fig9_bct_colocated    Fig. 9     OSP-C BCT overhead\n"
+        "  bench_ablation_*            our ablations (LGP, Algorithm 1,\n"
+        "                              degradation, scaling, baselines,\n"
+        "                              non-IID, congestion, compression)\n"
+        "  bench_sensitivity_crossover rho-regime crossover analysis"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OSP (ICPP 2023) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument(
+            "--workload",
+            default="resnet50-cifar10",
+            choices=sorted(MODEL_CARDS),
+        )
+        p.add_argument("--mode", default="timing", choices=["timing", "numeric"])
+        p.add_argument("--workers", type=int, default=8)
+        p.add_argument("--epochs", type=int, default=12)
+        p.add_argument("--iterations", type=int, default=8, help="per-epoch (timing mode)")
+        p.add_argument("--sigma", type=float, default=0.1, help="straggler jitter")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--samples", type=int, default=1600, help="dataset size (numeric)")
+        p.add_argument("--batch-size", type=int, default=25, help="numeric batch size")
+
+    p_run = sub.add_parser("run", help="run one (workload, sync) simulation")
+    add_common(p_run)
+    p_run.add_argument("--sync", default="osp", choices=sorted(SYNC_FACTORIES))
+    p_run.add_argument("--json", action="store_true", help="emit JSON")
+    p_run.add_argument(
+        "--trace", metavar="FILE", help="write a Chrome-tracing timeline JSON"
+    )
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare the four paper sync models")
+    add_common(p_cmp)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_cards = sub.add_parser("cards", help="list model cards")
+    p_cards.set_defaults(fn=cmd_cards)
+
+    p_figs = sub.add_parser("figures", help="list figure benchmarks")
+    p_figs.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`) — normal CLI exit.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,253 @@
+"""TrainerContext: everything a sync model's worker process can touch."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster.engines import Engine
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.ps import ParameterServer
+from repro.cluster.spec import ClusterSpec, TrainingPlan
+from repro.metrics.recorder import EpochRecord, IterationRecord, Recorder
+from repro.netsim.network import Network
+from repro.simcore.environment import Environment
+from repro.simcore.events import Event
+from repro.simcore.resources import Barrier, Resource
+
+
+class TrainerContext:
+    """Shared state + primitives for worker processes.
+
+    Created by :class:`~repro.cluster.trainer.DistributedTrainer`; sync
+    models receive it in ``setup`` and in every worker process.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        spec: ClusterSpec,
+        plan: TrainingPlan,
+        engine: Engine,
+        ps: ParameterServer,
+        recorder: Recorder,
+        iterations_per_epoch: int,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.spec = spec
+        self.plan = plan
+        self.engine = engine
+        self.ps = ps
+        self.recorder = recorder
+        self.iterations_per_epoch = iterations_per_epoch
+        self._stop_after_epoch: Optional[int] = None
+        self._alive = set(range(spec.n_workers))
+        self._failure_schedule: dict[int, int] = {}
+        self._epoch_arrivals: dict[int, int] = {}
+        self._epoch_losses: dict[int, list[float]] = {}
+        self._best_metric = -np.inf
+        self._epochs_since_improvement = 0
+        self._lr_scheduler = None  # set by trainer
+        self._agg_resources = (
+            [Resource(env, capacity=1) for _ in spec.ps_nodes]
+            if spec.ps_agg_bandwidth is not None
+            else None
+        )
+        #: hooks the active sync model can register
+        self.epoch_end_hooks: list = []
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def stopped(self) -> bool:
+        """True once early stopping has triggered."""
+        return self._stop_after_epoch is not None
+
+    def skip_epoch(self, epoch: int) -> bool:
+        """Should a worker skip (not start) this epoch?
+
+        Early stopping is epoch-indexed rather than an instant flag: when it
+        triggers during epoch ``e``'s evaluation, epoch ``e+1`` is declared
+        the last. Workers that already started ``e+1`` finish it; workers
+        that have not will still run it — so barrier-based models (BSP,
+        OSP's RS) never end up with some workers inside a barrier that the
+        rest have abandoned.
+        """
+        return self._stop_after_epoch is not None and epoch > self._stop_after_epoch
+
+    # -- fault injection ----------------------------------------------------
+    @property
+    def alive_workers(self) -> frozenset[int]:
+        """Workers still participating."""
+        return frozenset(self._alive)
+
+    def schedule_failure(self, worker: int, before_epoch: int) -> None:
+        """Inject a crash: ``worker`` dies before starting ``before_epoch``.
+
+        This demonstrates the PS architecture's fault resilience the paper
+        motivates in §1 (vs Ring-AllReduce's fragility): training continues
+        with the surviving workers. Supported for barrier-free sync models
+        (ASP, SSP/DSSP, R²SP); barrier-based models would need dynamic
+        quorums and are out of scope.
+        """
+        if not (0 <= worker < self.spec.n_workers):
+            raise ValueError(f"unknown worker {worker}")
+        if before_epoch < 1:
+            raise ValueError("workers can only fail after completing an epoch")
+        self._failure_schedule[worker] = before_epoch
+
+    def should_fail(self, worker: int, epoch: int) -> bool:
+        """Does the injected fault schedule kill this worker now?"""
+        target = self._failure_schedule.get(worker)
+        return target is not None and epoch >= target
+
+    def retire_worker(self, worker: int) -> None:
+        """Remove a (crashed) worker; completes any epochs it was the last
+        missing arrival for."""
+        self._alive.discard(worker)
+        if not self._alive:
+            return
+        for epoch in sorted(self._epoch_arrivals):
+            self._maybe_complete_epoch(epoch)
+
+    @property
+    def current_lr(self) -> float:
+        """The effective learning rate right now (PS optimizer's, if any)."""
+        if self.ps.optimizer is not None:
+            return self.ps.optimizer.lr
+        return self.plan.lr
+
+    # -- communication ----------------------------------------------------------
+    def transfer_to_ps(self, worker: int, nbytes: float, tag=None, ps_index: int = 0) -> Event:
+        """Worker → PS transfer; returns an event that fires once the bytes
+        have arrived AND that PS's (serialised, memory-bound) aggregator has
+        ingested them — see ``ClusterSpec.ps_agg_bandwidth``."""
+        net_done = self.network.transfer(
+            self.spec.worker_node(worker),
+            self.spec.ps_nodes[ps_index],
+            nbytes,
+            tag=tag,
+        )
+        if self._agg_resources is None or nbytes <= 0:
+            return net_done
+        done = Event(self.env)
+        self.env.process(
+            self._ingest(net_done, nbytes, done, self._agg_resources[ps_index])
+        )
+        return done
+
+    def _ingest(self, net_done: Event, nbytes: float, done: Event, agg: Resource):
+        record = yield net_done
+        req = agg.request()
+        yield req
+        try:
+            yield self.env.timeout(nbytes / self.spec.ps_agg_bandwidth)
+        finally:
+            agg.release()
+        done.succeed(record)
+
+    def transfer_from_ps(self, worker: int, nbytes: float, tag=None, ps_index: int = 0) -> Event:
+        """PS → worker transfer; returns the completion event."""
+        return self.network.transfer(
+            self.spec.ps_nodes[ps_index],
+            self.spec.worker_node(worker),
+            nbytes,
+            tag=tag,
+        )
+
+    def barrier(self) -> Barrier:
+        """A fresh cyclic barrier over all workers."""
+        return Barrier(self.env, self.spec.n_workers)
+
+    # -- compute -----------------------------------------------------------------
+    def compute(self, worker: int, epoch: int, batch: int, extra_time: float = 0.0):
+        """Generator: advance virtual time by this iteration's (jittered)
+        compute time, then run the numeric math. Returns
+        ``(grads, loss, samples, t_compute, t_start)``."""
+        iteration = epoch * self.iterations_per_epoch + batch
+        base = self.engine.base_compute_time(self.spec) + extra_time
+        t_c = self.spec.jitter.sample(base, worker, iteration)
+        t_start = self.env.now
+        yield self.env.timeout(t_c)
+        grads, loss, samples = self.engine.compute(worker, epoch, batch)
+        self._epoch_losses.setdefault(epoch, []).append(loss)
+        return grads, loss, samples, t_c, t_start
+
+    # -- recording ------------------------------------------------------------------
+    def record_iteration(
+        self,
+        worker: int,
+        iteration: int,
+        t_start: float,
+        t_compute: float,
+        t_sync: float,
+        loss: float,
+        samples: int,
+    ) -> None:
+        self.recorder.record_iteration(
+            IterationRecord(
+                worker=worker,
+                iteration=iteration,
+                start_time=t_start,
+                compute_time=t_compute,
+                sync_time=t_sync,
+                loss=loss,
+                samples=samples,
+            )
+        )
+
+    def epoch_done(self, worker: int, epoch: int) -> None:
+        """Signal that ``worker`` finished ``epoch``; the last (alive)
+        arrival triggers evaluation, LR scheduling, sync-model hooks and
+        the early-stopping check."""
+        self._epoch_arrivals[epoch] = self._epoch_arrivals.get(epoch, 0) + 1
+        self._maybe_complete_epoch(epoch)
+
+    def _maybe_complete_epoch(self, epoch: int) -> None:
+        count = self._epoch_arrivals.get(epoch, 0)
+        if count < len(self._alive) or count < 0:
+            return
+        # mark completed so retire_worker re-checks cannot double-fire
+        self._epoch_arrivals[epoch] = -1
+
+        losses = self._epoch_losses.get(epoch, [0.0])
+        train_loss = float(np.mean(losses))
+        iterations_done = self.recorder.total_iterations
+        metric = self.engine.evaluate(self.ps, iterations_done)
+        self.recorder.record_epoch(
+            EpochRecord(
+                epoch=epoch,
+                time=self.env.now,
+                train_loss=train_loss,
+                metric=metric,
+                iterations_done=iterations_done,
+            )
+        )
+        if self._lr_scheduler is not None:
+            self._lr_scheduler.epoch_end(epoch)
+        for hook in self.epoch_end_hooks:
+            hook(epoch, train_loss, metric)
+        self._check_early_stop(metric, epoch)
+
+    def _check_early_stop(self, metric: float, epoch: int) -> None:
+        patience = self.plan.early_stop_patience
+        if patience is None:
+            return
+        if metric > self._best_metric + self.plan.early_stop_delta:
+            self._best_metric = metric
+            self._epochs_since_improvement = 0
+        else:
+            self._epochs_since_improvement += 1
+            if (
+                self._epochs_since_improvement >= patience
+                and self._stop_after_epoch is None
+            ):
+                self._stop_after_epoch = epoch + 1
+
+
+__all__ = ["TrainerContext"]

@@ -1,0 +1,139 @@
+"""Parameter-server state: the canonical model, its optimizer, and the
+gradient aggregation buffers every sync model shares.
+
+In numeric mode the PS owns the single source-of-truth parameter arrays
+and an SGD optimizer (standard PS design: optimizer state lives server-
+side). In timing mode (no arrays) the same bookkeeping runs on byte counts
+so sync-model control flow is identical.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.optim.sgd import SGD
+
+
+class ParameterServer:
+    """Aggregation buffers + global model update logic.
+
+    Parameters
+    ----------
+    model:
+        The canonical global model (numeric mode) or None (timing mode).
+    optimizer:
+        Server-side SGD over ``model`` (numeric mode) or None.
+    n_workers:
+        Cluster size; used for full-quorum detection and default weights.
+    worker_weights:
+        Aggregation weight per worker, defaulting to uniform 1/N. The paper
+        (§2.1.1) weights by each worker's data-shard fraction.
+    """
+
+    def __init__(
+        self,
+        model: Optional[Module],
+        optimizer: Optional[SGD],
+        n_workers: int,
+        worker_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if (model is None) != (optimizer is None):
+            raise ValueError("model and optimizer must both be set or both None")
+        self.model = model
+        self.optimizer = optimizer
+        self.n_workers = n_workers
+        if worker_weights is None:
+            self.worker_weights = np.full(n_workers, 1.0 / n_workers)
+        else:
+            w = np.asarray(worker_weights, dtype=float)
+            if w.shape != (n_workers,) or (w < 0).any() or w.sum() <= 0:
+                raise ValueError(f"bad worker_weights {worker_weights}")
+            self.worker_weights = w / w.sum()
+        self._params = dict(model.named_parameters()) if model is not None else {}
+        self._buffers: dict[str, dict[int, Mapping[str, np.ndarray]]] = {}
+        #: bumps on every applied update; workers compare versions to detect
+        #: staleness (diagnostics).
+        self.version = 0
+        #: last full aggregated gradient (numeric; feeds PGP importance).
+        self.last_aggregated: dict[str, np.ndarray] = {}
+
+    @property
+    def numeric(self) -> bool:
+        return self.model is not None
+
+    # -- aggregation buffers ---------------------------------------------------
+    def accumulate(
+        self, bucket: str, worker: int, grads: Optional[Mapping[str, np.ndarray]]
+    ) -> int:
+        """Deposit a worker's gradients in a named bucket; returns how many
+        workers have deposited. ``grads`` may be None in timing mode."""
+        buf = self._buffers.setdefault(bucket, {})
+        if worker in buf:
+            raise RuntimeError(
+                f"worker {worker} deposited twice in bucket {bucket!r}"
+            )
+        buf[worker] = grads if grads is not None else {}
+        return len(buf)
+
+    def pending(self, bucket: str) -> int:
+        """Number of deposits waiting in a bucket."""
+        return len(self._buffers.get(bucket, {}))
+
+    def apply_average(self, bucket: str) -> None:
+        """Weighted-average the bucket's gradients, apply via the optimizer,
+        clear the bucket, bump the version. No-op arrays in timing mode."""
+        buf = self._buffers.pop(bucket, None)
+        if not buf:
+            raise RuntimeError(f"apply_average on empty bucket {bucket!r}")
+        if self.numeric:
+            avg: dict[str, np.ndarray] = {}
+            total_w = sum(self.worker_weights[w] for w in buf)
+            for worker, grads in buf.items():
+                weight = self.worker_weights[worker] / total_w
+                for name, g in grads.items():
+                    if name in avg:
+                        avg[name] += weight * g
+                    else:
+                        avg[name] = weight * g
+            if avg:
+                self.optimizer.step_with_grads(avg)
+                self.last_aggregated.update({n: g for n, g in avg.items()})
+        self.version += 1
+
+    def apply_immediate(
+        self, worker: int, grads: Optional[Mapping[str, np.ndarray]]
+    ) -> None:
+        """ASP-style: apply one worker's gradients now, scaled by its
+        aggregation weight (so a full round of N pushes moves the model as
+        far as one BSP step)."""
+        if self.numeric and grads:
+            scale = float(self.worker_weights[worker])
+            scaled = {n: scale * g for n, g in grads.items()}
+            self.optimizer.step_with_grads(scaled)
+            self.last_aggregated.update(grads)
+        self.version += 1
+
+    # -- parameter access --------------------------------------------------------
+    def snapshot(self, names: Optional[Sequence[str]] = None) -> dict[str, np.ndarray]:
+        """Copy of global parameters (all, or the named subset)."""
+        if not self.numeric:
+            return {}
+        if names is None:
+            return {n: p.data.copy() for n, p in self._params.items()}
+        out = {}
+        for n in names:
+            if n not in self._params:
+                raise KeyError(f"unknown parameter {n!r}")
+            out[n] = self._params[n].data.copy()
+        return out
+
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(self._params.keys())
+
+
+__all__ = ["ParameterServer"]

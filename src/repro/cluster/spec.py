@@ -1,0 +1,103 @@
+"""Cluster and training-run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.gpu import GPUSpec, get_gpu
+from repro.hardware.jitter import JitterModel, NoJitter
+from repro.netsim.links import LinkSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Physical cluster description (paper §5.1.1 defaults).
+
+    ``colocated_ps=False`` gives the 9-node layout: N workers (nodes
+    0..N−1) plus a standalone PS (node N). ``colocated_ps=True`` puts the
+    PS on worker 0's node (OSP-C, §4.4/§5.4): their traffic is loopback and
+    worker 0 pays the PS-side PGP compute. ``n_ps > 1`` adds further
+    standalone PS nodes for §6.1 sharded synchronization (BytePS-style).
+    """
+
+    n_workers: int = 8
+    link: LinkSpec = field(default_factory=LinkSpec)
+    gpu: GPUSpec = field(default_factory=lambda: get_gpu("tesla-t4"))
+    jitter: JitterModel = field(default_factory=NoJitter)
+    colocated_ps: bool = False
+    fixed_overhead: float = 4e-3  # per-iteration host-side cost (seconds)
+    #: PS-side aggregation throughput in bytes/second (deserialise + add,
+    #: memory-bound, one aggregator thread per PS — so concurrent pushes to
+    #: one PS serialise). ``None`` disables the model (infinitely fast PS).
+    ps_agg_bandwidth: float | None = 6e9
+    #: Number of parameter servers (§6.1 synchronization groups).
+    n_ps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.ps_agg_bandwidth is not None and self.ps_agg_bandwidth <= 0:
+            raise ValueError(
+                f"ps_agg_bandwidth must be positive or None, got {self.ps_agg_bandwidth}"
+            )
+        if self.n_ps < 1:
+            raise ValueError(f"n_ps must be >= 1, got {self.n_ps}")
+        if self.colocated_ps and self.n_ps != 1:
+            raise ValueError("colocated_ps supports a single PS only")
+
+    @property
+    def n_nodes(self) -> int:
+        """Hosts in the topology (workers + standalone PSes if present)."""
+        return self.n_workers if self.colocated_ps else self.n_workers + self.n_ps
+
+    @property
+    def ps_node(self) -> int:
+        """Topology node id hosting the (first) PS."""
+        return 0 if self.colocated_ps else self.n_workers
+
+    @property
+    def ps_nodes(self) -> tuple[int, ...]:
+        """Topology node ids of all parameter servers."""
+        if self.colocated_ps:
+            return (0,)
+        return tuple(range(self.n_workers, self.n_workers + self.n_ps))
+
+    def worker_node(self, worker: int) -> int:
+        """Topology node id of a worker (currently the identity map)."""
+        if not (0 <= worker < self.n_workers):
+            raise ValueError(f"worker {worker} out of range")
+        return worker
+
+
+@dataclass(frozen=True)
+class TrainingPlan:
+    """How long and how to train.
+
+    ``iterations_per_epoch`` is per-worker. In numeric mode it defaults to
+    the shard loader's batch count; in timing mode it must be given.
+    """
+
+    n_epochs: int = 10
+    iterations_per_epoch: Optional[int] = None
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    lr_step_epochs: int = 10  # paper: halve every 10 epochs
+    lr_gamma: float = 0.5
+    early_stop_patience: Optional[int] = None  # epochs without improvement
+    early_stop_delta: float = 1e-3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_epochs < 1:
+            raise ValueError(f"n_epochs must be >= 1, got {self.n_epochs}")
+        if self.iterations_per_epoch is not None and self.iterations_per_epoch < 1:
+            raise ValueError("iterations_per_epoch must be >= 1 when given")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.early_stop_patience is not None and self.early_stop_patience < 1:
+            raise ValueError("early_stop_patience must be >= 1 when given")
+
+
+__all__ = ["ClusterSpec", "TrainingPlan"]

@@ -1,0 +1,128 @@
+"""DistributedTrainer: wires engine + PS + network + sync model together
+and runs the simulation to completion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.context import TrainerContext
+from repro.cluster.engines import Engine, NumericEngine
+from repro.cluster.spec import ClusterSpec, TrainingPlan
+from repro.metrics.recorder import Recorder
+from repro.netsim.network import Network
+from repro.netsim.topology import StarTopology
+from repro.optim.lr_scheduler import StepLR
+from repro.simcore.environment import Environment
+
+
+@dataclass
+class TrainingResult:
+    """Everything a benchmark needs after a run."""
+
+    sync_name: str
+    recorder: Recorder
+    wall_time: float  # virtual seconds of the whole run
+    context: TrainerContext
+
+    @property
+    def throughput(self) -> float:
+        return self.recorder.throughput()
+
+    @property
+    def best_metric(self) -> float:
+        return self.recorder.best_metric()
+
+    @property
+    def mean_bst(self) -> float:
+        return self.recorder.mean_bst()
+
+    @property
+    def mean_bct(self) -> float:
+        return self.recorder.mean_bct()
+
+
+class DistributedTrainer:
+    """Run one (cluster, workload, sync model) training simulation.
+
+    Parameters
+    ----------
+    spec, plan, engine:
+        Cluster description, run plan, and the numeric/timing engine.
+    sync_model:
+        An instance from :mod:`repro.sync` or :mod:`repro.core.osp`.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        plan: TrainingPlan,
+        engine: Engine,
+        sync_model,
+        topology=None,
+    ) -> None:
+        """``topology`` (optional) overrides the default single-rack star —
+        e.g. :func:`repro.netsim.make_multirack_topology` for cross-rack
+        studies. It must route between the spec's node ids (workers
+        0..N−1 and the PS node(s))."""
+        self.spec = spec
+        self.plan = plan
+        self.engine = engine
+        self.sync_model = sync_model
+        self._topology_override = topology
+
+        ipe = plan.iterations_per_epoch
+        if ipe is None:
+            if isinstance(engine, NumericEngine):
+                ipe = engine.iterations_per_epoch
+            else:
+                raise ValueError(
+                    "iterations_per_epoch must be set in the plan for timing mode"
+                )
+        self.iterations_per_epoch = ipe
+
+        self.env = Environment()
+        topo = (
+            topology
+            if topology is not None
+            else StarTopology(spec.n_nodes, default_spec=spec.link)
+        )
+        self.network = Network(self.env, topo)
+        self.ps = engine.make_ps(plan)
+        self.recorder = Recorder()
+        self.ctx = TrainerContext(
+            env=self.env,
+            network=self.network,
+            spec=spec,
+            plan=plan,
+            engine=engine,
+            ps=self.ps,
+            recorder=self.recorder,
+            iterations_per_epoch=ipe,
+        )
+        if self.ps.optimizer is not None:
+            self.ctx._lr_scheduler = StepLR(
+                self.ps.optimizer,
+                step_epochs=plan.lr_step_epochs,
+                gamma=plan.lr_gamma,
+            )
+
+    def run(self) -> TrainingResult:
+        """Execute the simulation to completion and collect results."""
+        self.sync_model.setup(self.ctx)
+        procs = [
+            self.env.process(self.sync_model.worker_process(self.ctx, w))
+            for w in range(self.spec.n_workers)
+        ]
+        self.env.run()
+        for p in procs:
+            if not p.ok:  # pragma: no cover - defensive
+                raise p.value
+        return TrainingResult(
+            sync_name=self.sync_model.name,
+            recorder=self.recorder,
+            wall_time=self.recorder.end_time(),
+            context=self.ctx,
+        )
+
+
+__all__ = ["DistributedTrainer", "TrainingResult"]

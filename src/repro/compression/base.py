@@ -1,0 +1,41 @@
+"""Compressor interface and helpers."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Protocol
+
+import numpy as np
+
+#: The canonical gradient container: parameter name -> ndarray.
+GradientDict = dict[str, np.ndarray]
+
+#: float32 wire format.
+_BYTES_PER_FLOAT = 4
+#: int32 index on the wire.
+_BYTES_PER_INDEX = 4
+
+
+def dense_bytes(grads: Mapping[str, np.ndarray]) -> int:
+    """Wire size of an uncompressed gradient dict."""
+    return sum(g.size for g in grads.values()) * _BYTES_PER_FLOAT
+
+
+class Compressor(Protocol):
+    """Lossy/lossless gradient codec."""
+
+    def compress(self, grads: GradientDict) -> tuple[Any, int]:
+        """Return (payload, bytes_on_wire)."""
+        ...
+
+    def decompress(self, payload: Any) -> GradientDict:
+        """Reconstruct a (possibly lossy) gradient dict from payload."""
+        ...
+
+
+__all__ = [
+    "Compressor",
+    "GradientDict",
+    "dense_bytes",
+    "_BYTES_PER_FLOAT",
+    "_BYTES_PER_INDEX",
+]

@@ -1,0 +1,41 @@
+"""8-bit uniform quantisation (Dettmers-style, paper ref [42])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import GradientDict
+
+
+class Uniform8Bit:
+    """Per-tensor symmetric uniform quantisation to int8.
+
+    Each tensor is scaled by its max-abs into [-127, 127] and rounded. Wire
+    cost: 1 byte/entry + 4 bytes/tensor for the scale.
+    """
+
+    levels = 127
+
+    def compress(self, grads: GradientDict):
+        payload = {}
+        wire = 0
+        for name, g in grads.items():
+            scale = float(np.abs(g).max())
+            if scale == 0.0:
+                q = np.zeros(g.shape, dtype=np.int8)
+            else:
+                q = np.clip(
+                    np.round(g / scale * self.levels), -self.levels, self.levels
+                ).astype(np.int8)
+            payload[name] = (q, scale)
+            wire += g.size + 4
+        return payload, wire
+
+    def decompress(self, payload) -> GradientDict:
+        out: GradientDict = {}
+        for name, (q, scale) in payload.items():
+            out[name] = q.astype(np.float64) * (scale / self.levels)
+        return out
+
+
+__all__ = ["Uniform8Bit"]

@@ -1,0 +1,49 @@
+"""Random-K sparsification (Stich et al., "Sparsified SGD with memory")."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import (
+    GradientDict,
+    _BYTES_PER_FLOAT,
+    _BYTES_PER_INDEX,
+)
+from repro.compression.topk import TopK
+
+
+class RandomK:
+    """Keep a uniformly random ``ratio`` fraction of entries.
+
+    Kept values are scaled by ``1/ratio`` so the compressed gradient is an
+    unbiased estimator of the dense one.
+    """
+
+    def __init__(self, ratio: float, seed: int = 0, unbiased: bool = True) -> None:
+        if not (0.0 < ratio <= 1.0):
+            raise ValueError(f"ratio must be in (0,1], got {ratio}")
+        self.ratio = float(ratio)
+        self.unbiased = unbiased
+        self._rng = np.random.default_rng(seed)
+
+    def compress(self, grads: GradientDict):
+        flat = np.concatenate([g.ravel() for g in grads.values()])
+        k = max(1, int(round(self.ratio * flat.size)))
+        indices = np.sort(self._rng.choice(flat.size, size=k, replace=False))
+        values = flat[indices]
+        if self.unbiased and self.ratio < 1.0:
+            values = values / self.ratio
+        payload = {
+            "shapes": {name: g.shape for name, g in grads.items()},
+            "order": list(grads.keys()),
+            "indices": indices.astype(np.int64),
+            "values": values,
+        }
+        wire = indices.size * (_BYTES_PER_FLOAT + _BYTES_PER_INDEX)
+        return payload, wire
+
+    # Same payload layout as TopK; reuse its decoder.
+    decompress = TopK.decompress
+
+
+__all__ = ["RandomK"]

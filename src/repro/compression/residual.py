@@ -1,0 +1,51 @@
+"""Error-feedback residual memory (the mechanism behind Deep Gradient
+Compression and Sparsified-SGD-with-memory, paper refs [26, 27]).
+
+Wraps any compressor: the difference between the true gradient and what the
+compressor transmitted is carried forward and added to the next gradient,
+so nothing is permanently lost — only delayed. (OSP achieves "delay, don't
+drop" differently: by scheduling the full gradient across RS+ICS.)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.compression.base import Compressor, GradientDict
+
+
+class ResidualMemory:
+    """Error-feedback wrapper around an inner compressor."""
+
+    def __init__(self, inner: Compressor) -> None:
+        self.inner = inner
+        self._residual: GradientDict = {}
+
+    def compress(self, grads: GradientDict) -> tuple[Any, int]:
+        corrected: GradientDict = {}
+        for name, g in grads.items():
+            r = self._residual.get(name)
+            corrected[name] = g + r if r is not None else g.copy()
+        payload, wire = self.inner.compress(corrected)
+        sent = self.inner.decompress(payload)
+        self._residual = {
+            name: corrected[name] - sent[name] for name in corrected
+        }
+        return payload, wire
+
+    def decompress(self, payload: Any) -> GradientDict:
+        return self.inner.decompress(payload)
+
+    @property
+    def residual_norm(self) -> float:
+        """L2 norm of the carried-forward error (diagnostics)."""
+        if not self._residual:
+            return 0.0
+        return float(
+            np.sqrt(sum(float((r**2).sum()) for r in self._residual.values()))
+        )
+
+
+__all__ = ["ResidualMemory"]

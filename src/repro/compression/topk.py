@@ -1,0 +1,67 @@
+"""Top-K sparsification: keep the K% largest-magnitude gradient entries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import (
+    GradientDict,
+    _BYTES_PER_FLOAT,
+    _BYTES_PER_INDEX,
+)
+
+
+class TopK:
+    """Keep the global top ``ratio`` fraction of entries by |value|.
+
+    Selection is global across all tensors (as in Aji & Heafield), not
+    per-tensor, so large layers do not crowd out small but important ones
+    any more than their magnitudes warrant.
+    """
+
+    def __init__(self, ratio: float) -> None:
+        if not (0.0 < ratio <= 1.0):
+            raise ValueError(f"ratio must be in (0,1], got {ratio}")
+        self.ratio = float(ratio)
+
+    def compress(self, grads: GradientDict):
+        flat = np.concatenate([g.ravel() for g in grads.values()])
+        k = max(1, int(round(self.ratio * flat.size)))
+        if k >= flat.size:
+            keep_mask = np.ones(flat.size, dtype=bool)
+        else:
+            threshold = np.partition(np.abs(flat), flat.size - k)[flat.size - k]
+            keep_mask = np.abs(flat) >= threshold
+            # Ties can push us over k; trim deterministically from the end.
+            excess = keep_mask.sum() - k
+            if excess > 0:
+                tie_positions = np.flatnonzero(
+                    keep_mask & (np.abs(flat) == threshold)
+                )
+                keep_mask[tie_positions[-excess:]] = False
+        indices = np.flatnonzero(keep_mask)
+        payload = {
+            "shapes": {name: g.shape for name, g in grads.items()},
+            "order": list(grads.keys()),
+            "indices": indices.astype(np.int64),
+            "values": flat[indices],
+        }
+        wire = indices.size * (_BYTES_PER_FLOAT + _BYTES_PER_INDEX)
+        return payload, wire
+
+    def decompress(self, payload) -> GradientDict:
+        shapes = payload["shapes"]
+        total = sum(int(np.prod(s)) for s in shapes.values())
+        flat = np.zeros(total)
+        flat[payload["indices"]] = payload["values"]
+        out: GradientDict = {}
+        offset = 0
+        for name in payload["order"]:
+            shape = shapes[name]
+            size = int(np.prod(shape))
+            out[name] = flat[offset : offset + size].reshape(shape)
+            offset += size
+        return out
+
+
+__all__ = ["TopK"]

@@ -1,0 +1,69 @@
+"""Multi-PS synchronization groups (paper §6.1, "Handling Scaling-up").
+
+The paper proposes sharding the model across multiple PSes (BytePS-style)
+so each PS aggregates one parameter partition for all workers, dividing
+the incast by the shard ratio. It leaves orchestration as future work; we
+implement the planning math: a balanced layer→PS assignment (greedy
+longest-processing-time, the classic makespan heuristic) and the predicted
+BST, so the scaling ablation bench can quantify the §6.1 claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import heapq
+
+
+@dataclass(frozen=True)
+class SyncGroupPlan:
+    """A layer partition across PS shards and its predicted sync cost."""
+
+    n_ps: int
+    assignment: dict[str, int]  # layer -> ps index
+    shard_bytes: tuple[float, ...]
+
+    @property
+    def max_shard_bytes(self) -> float:
+        return max(self.shard_bytes)
+
+    @property
+    def balance(self) -> float:
+        """max/mean shard load; 1.0 = perfectly balanced."""
+        mean = sum(self.shard_bytes) / len(self.shard_bytes)
+        return self.max_shard_bytes / mean if mean > 0 else 1.0
+
+    def predicted_bst(self, n_workers: int, bandwidth: float) -> float:
+        """Predicted per-iteration sync time: every worker pushes its shard
+        slice to each PS in parallel; each PS's downlink serves N flows of
+        its shard size; push + pull ⇒ factor 2. The largest shard is the
+        critical path."""
+        if n_workers < 1 or bandwidth <= 0:
+            raise ValueError("need n_workers >= 1 and positive bandwidth")
+        return 2.0 * n_workers * self.max_shard_bytes / bandwidth
+
+
+def plan_sync_groups(layer_bytes: Mapping[str, int], n_ps: int) -> SyncGroupPlan:
+    """Partition layers across ``n_ps`` servers, balancing bytes (LPT).
+
+    Deterministic: ties break by layer name.
+    """
+    if n_ps < 1:
+        raise ValueError(f"n_ps must be >= 1, got {n_ps}")
+    if not layer_bytes:
+        raise ValueError("no layers to assign")
+    loads = [(0.0, i) for i in range(n_ps)]
+    heapq.heapify(loads)
+    assignment: dict[str, int] = {}
+    shard = [0.0] * n_ps
+    for layer in sorted(layer_bytes, key=lambda l: (-layer_bytes[l], l)):
+        load, idx = heapq.heappop(loads)
+        assignment[layer] = idx
+        load += layer_bytes[layer]
+        shard[idx] = load
+        heapq.heappush(loads, (load, idx))
+    return SyncGroupPlan(n_ps=n_ps, assignment=assignment, shard_bytes=tuple(shard))
+
+
+__all__ = ["SyncGroupPlan", "plan_sync_groups"]

@@ -1,0 +1,288 @@
+"""OSP — Overlapped Synchronization Parallel (paper §3–§4).
+
+Per iteration, each worker:
+
+1. waits for its previous iteration's ICS *push* to clear its uplink (the
+   Eq. 5 budget makes this wait ≈0 in the common case);
+2. splits its gradients by the current GIB into important ``G^i`` /
+   unimportant ``G^u`` (Fig. 5 "Gradient splitter");
+3. **RS** — pushes ``G^i``; the PS averages and applies once all workers
+   deposit; a barrier closes the stage; the worker pulls the updated
+   important parameters;
+4. applies **LGP Eq. 6**: adopt global important params, advance
+   unimportant params with the local gradient as a prediction;
+5. launches **ICS** in the background: push ``G^u`` (overlapping the next
+   iteration's compute), PS averages and applies when all arrive, worker
+   pulls the global unimportant parameters and applies **LGP Eq. 7**
+   (replace prediction with the global result, filtered by the current GIB
+   so re-classified layers are never regressed).
+
+The PS recomputes PGP importance and the GIB whenever an ICS round
+completes (i.e. during the workers' compute — §3.2 challenge 1) and
+broadcasts the new bitmap (tiny transfer); workers adopt it at the next RS
+barrier so every worker always splits one iteration with one bitmap.
+
+Degradation (§4.3): ``force="bsp"`` pins the GIB to all-important (OSP ≡
+BSP + no-op ICS); ``force="asp"`` pins all-unimportant (RS carries no
+payload; all traffic overlaps compute, ASP-like).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster.context import TrainerContext
+
+from typing import Optional
+
+from repro.core.gib import GIB
+from repro.core.lgp import EMALGPCorrector, LGPCorrector
+from repro.core.tuning import MAX_MODEL_FRACTION, SGuTuner, ics_upper_bound
+from repro.sync.base import SyncModel
+
+
+class OSP(SyncModel):
+    """Overlapped Synchronization Parallel.
+
+    Parameters
+    ----------
+    max_model_fraction:
+        Algorithm 1 line 2 cap on U_max (paper: 0.8).
+    lgp:
+        ``"local"`` (paper's LGP), ``"ema"`` (EMA-LGP ablation, §4.2) or
+        ``"none"`` (no correction — stale-parameter ablation).
+    force:
+        ``None`` (adaptive, Algorithm 1), ``"bsp"`` or ``"asp"`` (§4.3
+        degradation modes).
+    fixed_budget_fraction:
+        Ablation knob: bypass Algorithm 1 and hold S(G^u) constant at this
+        fraction of the model size from the first iteration (still clipped
+        to U_max so Eq. 5 is honoured).
+    """
+
+    name = "osp"
+
+    def __init__(
+        self,
+        max_model_fraction: float = MAX_MODEL_FRACTION,
+        lgp: str = "local",
+        force: Optional[str] = None,
+        fixed_budget_fraction: Optional[float] = None,
+    ) -> None:
+        if lgp not in ("local", "ema", "none"):
+            raise ValueError(f"unknown lgp mode {lgp!r}")
+        if force not in (None, "bsp", "asp"):
+            raise ValueError(f"unknown force mode {force!r}")
+        if fixed_budget_fraction is not None and not (
+            0.0 <= fixed_budget_fraction <= 1.0
+        ):
+            raise ValueError(
+                f"fixed_budget_fraction must be in [0,1], got {fixed_budget_fraction}"
+            )
+        self.max_model_fraction = max_model_fraction
+        self.lgp_mode = lgp
+        self.force = force
+        self.fixed_budget_fraction = fixed_budget_fraction
+        if force:
+            self.name = f"osp-forced-{force}"
+        elif fixed_budget_fraction is not None:
+            self.name = f"osp-fixed-{fixed_budget_fraction:.0%}"
+
+    # ------------------------------------------------------------- setup
+    def setup(self, ctx: TrainerContext) -> None:
+        super().setup(ctx)
+        engine = ctx.engine
+        self.splitter = engine.splitter
+        layers = self.splitter.layers
+        self._barrier = ctx.barrier()
+
+        # Eq. 5: the PS-side link is the shared bottleneck for N ICS pushes.
+        route_loss = 1.0 - (1.0 - ctx.spec.link.loss_rate) ** 2
+        u_max = ics_upper_bound(
+            bandwidth=ctx.spec.link.bandwidth,
+            loss_rate=route_loss,
+            compute_time=engine.base_compute_time(ctx.spec),
+            n_workers=ctx.spec.n_workers,
+            model_bytes=engine.model_bytes,
+            max_model_fraction=self.max_model_fraction,
+        )
+        self._tuner = SGuTuner(u_max)
+        if self.fixed_budget_fraction is not None:
+            # Ablation: constant budget from the start, Eq. 5-clipped.
+            self._budget = min(
+                self.fixed_budget_fraction * engine.model_bytes, u_max
+            )
+        else:
+            self._budget = 0.0  # Algorithm 1: S(G^u)_1 = 0
+
+        if self.force == "bsp":
+            self._gib = GIB.all_important(layers)
+        elif self.force == "asp":
+            self._gib = GIB.all_unimportant(layers)
+        else:
+            self._gib = GIB.all_important(layers)
+        self._pending_gib: Optional[GIB] = None
+        self._last_promote_gen = -1
+
+        n = ctx.spec.n_workers
+        self._ics_push_done = [None] * n
+        self._ics_proc = [None] * n
+        self._ics_ready: dict[int, object] = {}
+        corrector_cls = {
+            "local": LGPCorrector,
+            "ema": EMALGPCorrector,
+            "none": None,
+        }[self.lgp_mode]
+        self._correctors = [
+            corrector_cls(engine.worker_params(w)) if corrector_cls else None
+            for w in range(n)
+        ]
+
+    # ----------------------------------------------------------- tuning
+    def on_epoch_end(self, ctx, epoch, train_loss, metric) -> None:
+        if self.force is not None:
+            return
+        if self.fixed_budget_fraction is None:
+            self._budget = self._tuner.budget(train_loss)
+        # Recompute the bitmap now that the budget (or importance) moved —
+        # this is also what bootstraps the first non-empty ICS (until then
+        # the GIB is all-important and no ICS round ever completes to
+        # trigger a refresh).
+        self._refresh_gib(ctx)
+
+    @property
+    def u_max(self) -> float:
+        """Eq. 5 upper bound in bytes (after the 80% cap)."""
+        return self._tuner.u_max
+
+    @property
+    def current_budget(self) -> float:
+        """Current S(G^u) in bytes."""
+        return self._budget
+
+    @property
+    def current_gib(self) -> GIB:
+        return self._gib
+
+    # ------------------------------------------------------ synchronization
+    def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
+        # (1) our previous ICS push must have left the uplink.
+        prev_push = self._ics_push_done[worker]
+        if prev_push is not None and not prev_push.triggered:
+            yield prev_push
+
+        gib = self._gib  # capture: one bitmap per iteration, all stages
+        imp_layers = gib.important_layers
+        unimp_layers = gib.unimportant_layers
+        imp_bytes = ctx.engine.bytes_of_layers(imp_layers)
+        unimp_bytes = ctx.engine.bytes_of_layers(unimp_layers)
+
+        if grads is not None:
+            g_imp, g_unimp = self.splitter.split(grads, gib)
+        else:
+            g_imp = g_unimp = None
+
+        # (2) RS push + PS-side aggregation once the quorum is in.
+        yield ctx.transfer_to_ps(worker, imp_bytes, tag=("rs-push", worker, iteration))
+        bucket = f"rs:{iteration}"
+        if ctx.ps.accumulate(bucket, worker, g_imp) == ctx.spec.n_workers:
+            ctx.ps.apply_average(bucket)
+        generation = yield self._barrier.wait()
+
+        # Adopt a freshly-broadcast GIB exactly once per barrier generation,
+        # i.e. after every worker has split this iteration with the old one.
+        if self._pending_gib is not None and generation != self._last_promote_gen:
+            self._gib = self._pending_gib
+            self._pending_gib = None
+            self._last_promote_gen = generation
+
+        # (3) RS pull: updated important parameters.
+        yield ctx.transfer_from_ps(worker, imp_bytes, tag=("rs-pull", worker, iteration))
+
+        # (4) LGP Eq. 6.
+        corrector = self._correctors[worker]
+        if ctx.ps.numeric:
+            imp_names = self.splitter.params_of(imp_layers)
+            snap = ctx.ps.snapshot(imp_names)
+            if corrector is not None:
+                corrector.apply_rs(snap, g_unimp or {}, lr=ctx.current_lr)
+            else:
+                # no-LGP ablation: adopt important params, leave the rest stale
+                replica = ctx.engine.worker_params(worker)
+                for name, value in snap.items():
+                    replica[name][...] = value
+
+        # (5) ICS in the background (overlaps the next compute).
+        if unimp_layers:
+            self._ics_proc[worker] = ctx.env.process(
+                self._ics_process(
+                    ctx, worker, iteration, g_unimp, unimp_layers, unimp_bytes
+                )
+            )
+        else:
+            self._ics_push_done[worker] = None
+
+    def _ics_process(self, ctx, worker, iteration, g_unimp, unimp_layers, unimp_bytes):
+        push = ctx.transfer_to_ps(
+            worker, unimp_bytes, tag=("ics-push", worker, iteration)
+        )
+        self._ics_push_done[worker] = push
+        yield push
+
+        bucket = f"ics:{iteration}"
+        if ctx.ps.accumulate(bucket, worker, g_unimp) == ctx.spec.n_workers:
+            ctx.ps.apply_average(bucket)
+            snapshot = (
+                ctx.ps.snapshot(self.splitter.params_of(unimp_layers))
+                if ctx.ps.numeric
+                else {}
+            )
+            self._ready(ctx, iteration).succeed(snapshot)
+            self._refresh_gib(ctx)
+            # Hygiene: ready-events three iterations back are guaranteed
+            # consumed (the RS barrier serialises rounds), so drop them to
+            # keep memory flat over long runs.
+            self._ics_ready.pop(iteration - 3, None)
+
+        snapshot = yield self._ready(ctx, iteration)
+        yield ctx.transfer_from_ps(
+            worker, unimp_bytes, tag=("ics-pull", worker, iteration)
+        )
+
+        # LGP Eq. 7, filtered by the *current* bitmap so layers promoted to
+        # RS since are never overwritten with an older value.
+        corrector = self._correctors[worker]
+        if corrector is not None and ctx.ps.numeric and snapshot:
+            still_unimp = set(self.splitter.params_of(self._gib.unimportant_layers))
+            corrector.apply_ics(
+                {n: v for n, v in snapshot.items() if n in still_unimp}
+            )
+
+    def _ready(self, ctx, iteration):
+        ev = self._ics_ready.get(iteration)
+        if ev is None:
+            ev = ctx.env.event()
+            self._ics_ready[iteration] = ev
+        return ev
+
+    def _refresh_gib(self, ctx) -> None:
+        """PS side: recompute importance + bitmap; broadcast to workers."""
+        if self.force is not None:
+            return
+        importance = ctx.engine.ps_layer_importance(ctx.ps)
+        new_gib = GIB.from_importance(
+            importance, ctx.engine.layer_bytes, self._budget
+        )
+        self._pending_gib = new_gib
+        # Traffic accounting for the (tiny) bitmap broadcast (§4.1.2).
+        for w in range(ctx.spec.n_workers):
+            ctx.transfer_from_ps(w, new_gib.wire_bytes(), tag=("gib", w))
+
+    def finalize(self, ctx, worker):
+        proc = self._ics_proc[worker]
+        if proc is not None and not proc.triggered:
+            yield proc
+
+
+__all__ = ["OSP"]

@@ -1,0 +1,80 @@
+"""PGP — Parameter-Gradient Production importance (paper §4.1.1).
+
+The importance of parameter ``k`` is the first-order Taylor estimate of the
+squared loss change if the parameter were zeroed:
+
+    D_k = (L(S, P) − L(S, P|_{P_k=0}))² ≈ (g_k · P_k)²        (Eq. 1–3)
+
+simplified to the production ``I_k = |g_k · P_k|``. Per-layer (Eq. 4):
+
+    I^l = Σ_{j ∈ l} |g_j · P_j|
+
+computed on the PS so workers pay nothing (§3.2 challenge 1).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def pgp_importance(grad: np.ndarray, param: np.ndarray) -> float:
+    """Per-parameter-group importance ``Σ |g · p|`` (Eq. 3/4 inner term)."""
+    grad = np.asarray(grad)
+    param = np.asarray(param)
+    if grad.shape != param.shape:
+        raise ValueError(f"shape mismatch: grad {grad.shape} vs param {param.shape}")
+    return float(np.abs(grad * param).sum())
+
+
+def layer_importance(
+    grads: Mapping[str, np.ndarray],
+    params: Mapping[str, np.ndarray],
+    layer_params: Mapping[str, Sequence[str]],
+) -> dict[str, float]:
+    """Eq. 4: importance per layer.
+
+    Parameters
+    ----------
+    grads, params:
+        Name → array mappings (same keys).
+    layer_params:
+        Layer name → parameter names belonging to that layer (the grouping
+        from :meth:`repro.nn.module.Module.leaf_layers`).
+
+    Returns
+    -------
+    dict
+        Layer name → ``I^l`` in the given layer order. Layers whose
+        parameters are missing a gradient raise ``KeyError`` — silent zeros
+        would corrupt the ranking.
+    """
+    out: dict[str, float] = {}
+    for layer, names in layer_params.items():
+        total = 0.0
+        for name in names:
+            if name not in grads:
+                raise KeyError(f"layer {layer!r}: no gradient for parameter {name!r}")
+            if name not in params:
+                raise KeyError(f"layer {layer!r}: no value for parameter {name!r}")
+            total += pgp_importance(grads[name], params[name])
+        out[layer] = total
+    return out
+
+
+def taylor_reference_importance(
+    loss_fn, params: Mapping[str, np.ndarray], name: str
+) -> float:
+    """Brute-force importance: |L(P) − L(P with params[name]=0)|.
+
+    Exists to *validate* PGP in tests (the paper's Eq. 1 definition); never
+    used in the training path — that is PGP's whole point.
+    """
+    base = float(loss_fn(params))
+    zeroed = dict(params)
+    zeroed[name] = np.zeros_like(params[name])
+    return abs(base - float(loss_fn(zeroed)))
+
+
+__all__ = ["layer_importance", "pgp_importance", "taylor_reference_importance"]

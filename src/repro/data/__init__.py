@@ -1,0 +1,30 @@
+"""Synthetic datasets, worker sharding, and batch loading.
+
+Substitutes for CIFAR-10/100, ImageNet-1K and SQuAD v1.1 (offline
+environment — see DESIGN.md §2): Gaussian-mixture image classification
+tasks with controllable class separability, and a synthetic extractive-QA
+task where a transformer must locate an answer-token span.
+
+Sharding supports IID splits and Dirichlet non-IID splits (the data regime
+the paper notes HSP mishandles, §2.2.1). Loaders reshuffle every epoch, as
+OSP requires (§4.2: "the local dataset is shuffled every epoch ... to
+prevent a fixed portion of the dataset from always being trained with
+outdated parameters after LGP").
+"""
+
+from repro.data.dataset import Dataset, train_test_split
+from repro.data.synthetic_images import make_image_classification
+from repro.data.synthetic_qa import ANSWER_VOCAB_RANGE, make_extractive_qa
+from repro.data.shard import shard_dirichlet, shard_iid
+from repro.data.loader import BatchLoader
+
+__all__ = [
+    "ANSWER_VOCAB_RANGE",
+    "BatchLoader",
+    "Dataset",
+    "make_extractive_qa",
+    "make_image_classification",
+    "shard_dirichlet",
+    "shard_iid",
+    "train_test_split",
+]

@@ -1,0 +1,68 @@
+"""Dataset container and splitting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """In-memory dataset.
+
+    Parameters
+    ----------
+    inputs:
+        Feature array; first axis is the sample axis. Images are NCHW
+        floats, QA inputs are integer token matrices (N, seq).
+    targets:
+        For classification: integer labels (N,). For QA: integer array of
+        shape (N, 2) holding (start, end) positions.
+    task:
+        ``"classification"`` or ``"qa"``.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    task: str = "classification"
+
+    def __post_init__(self) -> None:
+        if self.task not in ("classification", "qa"):
+            raise ValueError(f"unknown task {self.task!r}")
+        if len(self.inputs) != len(self.targets):
+            raise ValueError(
+                f"inputs ({len(self.inputs)}) and targets ({len(self.targets)}) "
+                "length mismatch"
+            )
+        if self.task == "qa" and (self.targets.ndim != 2 or self.targets.shape[1] != 2):
+            raise ValueError(f"qa targets must be (N, 2), got {self.targets.shape}")
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_classes(self) -> int:
+        """Number of classes (classification only)."""
+        if self.task != "classification":
+            raise ValueError("n_classes is only defined for classification")
+        return int(self.targets.max()) + 1
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Dataset restricted to ``indices`` (copies)."""
+        return Dataset(self.inputs[indices], self.targets[indices], self.task)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Shuffled split into (train, test)."""
+    if not (0.0 < test_fraction < 1.0):
+        raise ValueError(f"test_fraction must be in (0,1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(dataset))
+    n_test = max(1, int(round(len(dataset) * test_fraction)))
+    return dataset.subset(perm[n_test:]), dataset.subset(perm[:n_test])
+
+
+__all__ = ["Dataset", "train_test_split"]

@@ -1,0 +1,71 @@
+"""Synthetic extractive QA: locate a span of answer-vocabulary tokens.
+
+Sequences are drawn from a "context" sub-vocabulary; a contiguous answer
+span is drawn from a disjoint "answer" sub-vocabulary. The model must
+output the span's start and end positions — structurally the SQuAD v1.1
+fine-tuning task (predict answer start/end in context), learnable by a
+small transformer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+#: Token-id range [lo, hi) reserved for answer-span tokens.
+ANSWER_VOCAB_RANGE = (2, 10)
+
+
+def make_extractive_qa(
+    n_samples: int,
+    seq_len: int = 16,
+    vocab_size: int = 64,
+    max_answer_len: int = 3,
+    noise_flip_prob: float = 0.02,
+    seed: int = 0,
+) -> Dataset:
+    """Build a SQuAD-like synthetic QA dataset.
+
+    ``noise_flip_prob`` randomly replaces context tokens with answer-vocab
+    tokens (distractors), so the task is not trivially solvable by a single
+    token lookup.
+    """
+    lo, hi = ANSWER_VOCAB_RANGE
+    if vocab_size <= hi:
+        raise ValueError(f"vocab_size must exceed {hi}, got {vocab_size}")
+    if not (1 <= max_answer_len <= seq_len):
+        raise ValueError(f"max_answer_len must be in [1,{seq_len}], got {max_answer_len}")
+    rng = np.random.default_rng(seed)
+
+    tokens = rng.integers(hi, vocab_size, size=(n_samples, seq_len))
+    lengths = rng.integers(1, max_answer_len + 1, size=n_samples)
+    starts = rng.integers(0, seq_len - lengths + 1)
+    ends = starts + lengths - 1
+
+    rows = np.arange(n_samples)
+    for offset in range(max_answer_len):
+        mask = offset < lengths
+        tokens[rows[mask], starts[mask] + offset] = rng.integers(
+            lo, hi, size=mask.sum()
+        )
+
+    if noise_flip_prob > 0:
+        flips = rng.random(tokens.shape) < noise_flip_prob
+        # Never corrupt the true span positions' labels: distractors may
+        # duplicate answer vocab elsewhere, which is the point.
+        tokens[flips] = rng.integers(lo, hi, size=flips.sum())
+        # Restore the actual span tokens where flips hit them.
+        for offset in range(max_answer_len):
+            mask = offset < lengths
+            pos = starts[mask] + offset
+            resample = flips[rows[mask], pos]
+            if resample.any():
+                sel = rows[mask][resample]
+                tokens[sel, pos[resample]] = rng.integers(lo, hi, size=sel.size)
+
+    targets = np.stack([starts, ends], axis=1).astype(np.int64)
+    return Dataset(tokens.astype(np.int64), targets, "qa")
+
+
+__all__ = ["ANSWER_VOCAB_RANGE", "make_extractive_qa"]

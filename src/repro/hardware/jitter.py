@@ -1,0 +1,95 @@
+"""Compute-time jitter and straggler models.
+
+Real clusters never execute identical iterations in identical time:
+OS noise, thermal throttling, interfering jobs and data-loading hiccups
+spread iteration times. This spread is what makes BSP's global barrier
+expensive — each iteration costs the *max* over workers — and is the
+mechanism behind the paper's Fig. 1/Fig. 2 contrast and the ``T_ASP`` up to
+6× smaller than ``T_BSP`` observation (§2.1.2, citing Sync-Switch).
+
+All models are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+
+class JitterModel(Protocol):
+    """Maps a nominal iteration time to a realised one, per worker/iter."""
+
+    def sample(self, base_time: float, worker: int, iteration: int) -> float:
+        """Realised compute time for this worker at this iteration."""
+        ...
+
+
+class NoJitter:
+    """Idealised homogeneous cluster: realised time == nominal time."""
+
+    def sample(self, base_time: float, worker: int, iteration: int) -> float:
+        return base_time
+
+
+class LognormalJitter:
+    """Multiplicative lognormal noise, the standard straggler model.
+
+    ``realised = base × exp(N(0, sigma))``, normalised so the *median*
+    equals the nominal time. ``sigma≈0.2`` gives mild OS noise; ``0.5``
+    gives the heavy-tailed stragglers that make barriers hurt.
+
+    Samples are indexed by (worker, iteration) through a counter-based
+    construction (one child generator per worker) so results do not depend
+    on the order in which workers ask.
+    """
+
+    def __init__(self, sigma: float = 0.2, seed: int = 0, n_workers: int = 64) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = float(sigma)
+        self.seed = int(seed)
+        self._streams = [
+            np.random.Generator(np.random.PCG64(np.random.SeedSequence([seed, w])))
+            for w in range(n_workers)
+        ]
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def sample(self, base_time: float, worker: int, iteration: int) -> float:
+        key = (worker, iteration)
+        factor = self._cache.get(key)
+        if factor is None:
+            # Draw sequentially per worker; iterations are asked in order by
+            # the trainer, and the cache makes re-asks consistent.
+            factor = float(np.exp(self._streams[worker].normal(0.0, self.sigma)))
+            self._cache[key] = factor
+        return base_time * factor
+
+
+class PersistentStraggler:
+    """Some workers are permanently slow (e.g. a thermally-throttled node).
+
+    Wraps an inner model; workers in ``slow_workers`` get their realised
+    times multiplied by ``slow_factor``.
+    """
+
+    def __init__(
+        self,
+        slow_workers: Sequence[int],
+        slow_factor: float = 2.0,
+        inner: JitterModel | None = None,
+    ) -> None:
+        if slow_factor < 1.0:
+            raise ValueError(f"slow_factor must be >= 1, got {slow_factor}")
+        self.slow_workers = frozenset(int(w) for w in slow_workers)
+        self.slow_factor = float(slow_factor)
+        self.inner = inner or NoJitter()
+
+    def sample(self, base_time: float, worker: int, iteration: int) -> float:
+        t = self.inner.sample(base_time, worker, iteration)
+        if worker in self.slow_workers:
+            t *= self.slow_factor
+        return t
+
+
+__all__ = ["JitterModel", "LognormalJitter", "NoJitter", "PersistentStraggler"]

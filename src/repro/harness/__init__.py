@@ -1,0 +1,30 @@
+"""Experiment harness: the paper's workloads and figure experiments.
+
+:mod:`repro.harness.workloads` builds ready-to-run (spec, plan, engine)
+triples for the five evaluation workloads (§5.1.2) in timing or numeric
+mode; :mod:`repro.harness.figures` implements one function per paper
+figure/table, returning plain data structures the benchmarks print.
+"""
+
+from repro.harness.workloads import (
+    EVALUATION_WORKLOADS,
+    WorkloadConfig,
+    make_numeric_dataset,
+    numeric_trainer,
+    timing_trainer,
+)
+from repro.harness import figures, sweep
+from repro.harness.stats import MultiSeedResult, SeedStats, run_seeds
+
+__all__ = [
+    "EVALUATION_WORKLOADS",
+    "MultiSeedResult",
+    "SeedStats",
+    "WorkloadConfig",
+    "figures",
+    "make_numeric_dataset",
+    "numeric_trainer",
+    "run_seeds",
+    "sweep",
+    "timing_trainer",
+]

@@ -1,0 +1,278 @@
+"""One function per paper figure/table. Each returns plain data (rows or
+series) that the corresponding benchmark prints and asserts shape
+properties on. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+for paper-vs-measured results.
+
+``quick=True`` (default) runs reduced-size configurations suitable for CI;
+``quick=False`` uses larger budgets with the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec, TrainingPlan
+from repro.cluster.engines import TimingEngine
+from repro.cluster.trainer import DistributedTrainer
+from repro.core.colocated import ColocatedOSP
+from repro.core.osp import OSP
+from repro.hardware.compute import ComputeModel
+from repro.hardware.gpu import get_gpu
+from repro.hardware.jitter import LognormalJitter
+from repro.nn.models.registry import get_card
+from repro.sync.asp import ASP
+from repro.sync.bsp import BSP
+from repro.sync.r2sp import R2SP
+from repro.harness.workloads import (
+    EVALUATION_WORKLOADS,
+    WorkloadConfig,
+    make_numeric_dataset,
+    numeric_trainer,
+    timing_trainer,
+)
+
+
+def paper_sync_models() -> list:
+    """Fresh instances of the four compared models (§5.1.3), figure order."""
+    return [ASP(), BSP(), R2SP(), OSP()]
+
+
+def _steady_state_throughput(recorder, cutoff_iteration: int) -> float:
+    iters = [r for r in recorder.iterations if r.iteration >= cutoff_iteration]
+    if not iters:
+        return recorder.throughput()
+    span = max(
+        r.start_time + r.compute_time + r.sync_time for r in iters
+    ) - min(r.start_time for r in iters)
+    return sum(r.samples for r in iters) / span if span > 0 else 0.0
+
+
+# ----------------------------------------------------------- Figs. 1 & 2
+def fig1_fig2_timelines(quick: bool = True) -> dict:
+    """BSP vs ASP iteration timelines under stragglers (§2.1.2).
+
+    Returns per-model mean iteration times and the per-worker spans of the
+    first iterations (the Fig. 1/2 bar timelines), plus the T_BSP/T_ASP
+    ratio the text discusses (ASP up to ~6x faster per iteration in [23]).
+    """
+    ipe = 6 if quick else 20
+    out: dict = {"timelines": {}, "records": {}}
+    for sync in (BSP(), ASP()):
+        cfg = WorkloadConfig(
+            "resnet50-cifar10",
+            n_workers=8,
+            n_epochs=2,
+            iterations_per_epoch=ipe,
+            sigma=0.45,  # heavy-straggler regime of the motivation figures
+        )
+        res = timing_trainer(cfg, sync).run()
+        early = [r for r in res.recorder.iterations if r.iteration < 3]
+        spans = [
+            (r.worker, r.iteration, r.start_time, r.start_time + r.compute_time + r.sync_time)
+            for r in early
+        ]
+        out["timelines"][sync.name] = sorted(spans)
+        out["records"][sync.name] = early
+        out[f"t_{sync.name}"] = res.recorder.mean_iteration_time()
+    out["bsp_over_asp"] = out["t_bsp"] / out["t_asp"]
+    return out
+
+
+# ------------------------------------------------------------------ Fig. 3
+def fig3_comm_share(quick: bool = True, node_counts: Sequence[int] = (1, 2, 4, 8)) -> list[tuple]:
+    """Communication share of iteration time vs cluster size (ResNet50
+    PS-based training, §2.2). Rows: (n_workers, bct_s, bst_s, comm_share)."""
+    rows = []
+    for n in node_counts:
+        cfg = WorkloadConfig(
+            "resnet50-cifar10",
+            n_workers=n,
+            n_epochs=1,
+            iterations_per_epoch=4 if quick else 16,
+            sigma=0.1,
+        )
+        res = timing_trainer(cfg, BSP()).run()
+        rows.append(
+            (n, res.mean_bct, res.mean_bst, res.recorder.communication_share())
+        )
+    return rows
+
+
+# --------------------------------------------------- §1 motivation numbers
+def motivation_gpu_comm(quick: bool = True) -> list[tuple]:
+    """Comm overhead of ResNet152/CIFAR-10 training as GPUs get faster
+    (§1: 10% on RTX 2080 Ti → 39% on RTX 3090 in the paper's measurement).
+
+    The paper profiles a per-worker training loop whose framework overlaps
+    gradient transfers with backpropagation (WFBP-style, §2.2.1), so the
+    *visible* communication overhead is the part of the transfer that
+    spills past the backward pass:
+
+        exposed = max(0, 2·S/b − T_backward),  share = exposed/(T_c + exposed)
+
+    Rows: (gpu, t_c_s, exposed_comm_s, comm_share).
+    """
+    card = get_card("resnet152-cifar10")
+    link_bw = ClusterSpec().link.bandwidth
+    comm = 2.0 * card.model_bytes / link_bw  # push + pull at full bandwidth
+    rows = []
+    for gpu_name in ("rtx2080ti", "rtx3090"):
+        cm = ComputeModel(get_gpu(gpu_name))
+        t_c = cm.iteration_time(card.paper_flops_per_sample, card.batch_size)
+        t_backward = t_c * 2.0 / 3.0  # bwd ≈ 2x fwd of the 3x total
+        exposed = max(0.0, comm - t_backward)
+        share = exposed / (t_c + exposed)
+        rows.append((gpu_name, t_c, exposed, share))
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 6a
+def fig6a_throughput(quick: bool = True, workloads: Iterable[str] = EVALUATION_WORKLOADS) -> list[tuple]:
+    """Training throughput per workload and sync model.
+
+    Rows: (workload, sync, overall_throughput, steady_state_throughput).
+    Units: samples/s (the bench divides BERT by 0.1 to report QAs per 10 s
+    as the paper does).
+    """
+    epochs = 24 if quick else 60
+    ipe = 6 if quick else 10
+    rows = []
+    for wname in workloads:
+        for sync in paper_sync_models():
+            cfg = WorkloadConfig(
+                wname, n_epochs=epochs, iterations_per_epoch=ipe
+            )
+            res = timing_trainer(cfg, sync).run()
+            ss = _steady_state_throughput(
+                res.recorder, cutoff_iteration=epochs * ipe * 3 // 4
+            )
+            rows.append((wname, sync.name, res.throughput, ss))
+    return rows
+
+
+# ----------------------------------------------------------------- Fig. 6d
+def fig6d_bst(quick: bool = True, workloads: Iterable[str] = EVALUATION_WORKLOADS) -> list[tuple]:
+    """Batch synchronization time per workload and sync model.
+
+    Rows: (workload, sync, mean_bst_s, steady_state_bst_s). Steady-state
+    excludes OSP's warm-up epochs (Algorithm 1 ramps from all-RS).
+    """
+    epochs = 24 if quick else 60
+    ipe = 6 if quick else 10
+    rows = []
+    for wname in workloads:
+        for sync in paper_sync_models():
+            cfg = WorkloadConfig(wname, n_epochs=epochs, iterations_per_epoch=ipe)
+            res = timing_trainer(cfg, sync).run()
+            cutoff = epochs * ipe * 3 // 4
+            late = [
+                r.sync_time for r in res.recorder.iterations if r.iteration >= cutoff
+            ]
+            rows.append((wname, sync.name, res.mean_bst, float(np.mean(late))))
+    return rows
+
+
+# ------------------------------------------------------- Figs. 6b, 6c, 7, 8
+def accuracy_experiment(
+    workload: str,
+    quick: bool = True,
+    seed: int = 0,
+    sync_models: Sequence | None = None,
+) -> dict[str, dict]:
+    """Shared numeric run behind Figs. 6(b), 6(c), 7 and 8.
+
+    Returns per-sync dicts with best metric, iterations-to-best, and the
+    time-to-accuracy curve.
+    """
+    epochs = 8 if quick else 30
+    n_samples = 1600 if quick else 6000
+    # 8 workers as in the paper's testbed: R2SP's round-robin cycle only
+    # starts queueing (its real cost) at this scale.
+    cfg = WorkloadConfig(workload, n_workers=8, n_epochs=epochs, sigma=0.3, seed=seed)
+    data = make_numeric_dataset(cfg.card, n_samples=n_samples, seed=seed)
+    out = {}
+    for sync in sync_models if sync_models is not None else paper_sync_models():
+        res = numeric_trainer(cfg, sync, data=data).run()
+        out[sync.name] = {
+            "best_metric": res.best_metric,
+            "iterations_to_best": res.recorder.iterations_to_best(),
+            "tta": res.recorder.time_to_accuracy(),
+            "wall_time": res.wall_time,
+        }
+    return out
+
+
+def fig6b_fig6c_accuracy(quick: bool = True, workloads: Iterable[str] | None = None) -> dict[str, dict]:
+    """Top-1/F1 and iterations-to-best per workload and sync model."""
+    if workloads is None:
+        workloads = (
+            ("resnet50-cifar10", "bertbase-squad")
+            if quick
+            else EVALUATION_WORKLOADS
+        )
+    return {w: accuracy_experiment(w, quick=quick) for w in workloads}
+
+
+def fig7_tta_images(quick: bool = True, workload: str = "resnet50-cifar10") -> dict[str, list]:
+    """Time-to-accuracy curves on an image-classification task."""
+    results = accuracy_experiment(workload, quick=quick)
+    return {name: d["tta"] for name, d in results.items()}
+
+
+def fig8_tta_nlp(quick: bool = True) -> dict[str, list]:
+    """Time-to-F1 curves on the QA fine-tuning task."""
+    results = accuracy_experiment("bertbase-squad", quick=quick)
+    return {name: d["tta"] for name, d in results.items()}
+
+
+# ------------------------------------------------------------------ Fig. 9
+def fig9_bct_colocated(quick: bool = True, workloads: Iterable[str] = EVALUATION_WORKLOADS) -> list[tuple]:
+    """Batch computation time: BSP vs OSP-S (standalone PS) vs OSP-C
+    (co-located PS). Rows: (workload, bct_bsp, bct_osp_s, bct_osp_c_worker0,
+    overhead_pct) — overhead is the PS-hosting worker's BCT inflation,
+    which the paper measures at 3–8% (min InceptionV3, max VGG16)."""
+    epochs = 3 if quick else 8
+    ipe = 4 if quick else 8
+    rows = []
+    for wname in workloads:
+        def run(sync, colocated):
+            cfg = WorkloadConfig(
+                wname,
+                n_epochs=epochs,
+                iterations_per_epoch=ipe,
+                colocated_ps=colocated,
+                sigma=0.0,
+            )
+            return timing_trainer(cfg, sync).run()
+
+        res_bsp = run(BSP(), False)
+        res_s = run(OSP(), False)
+        res_c = run(ColocatedOSP(), True)
+        bct_ps_worker = float(
+            np.mean(
+                [r.compute_time for r in res_c.recorder.iterations if r.worker == 0]
+            )
+        )
+        overhead = (bct_ps_worker / res_bsp.mean_bct - 1.0) * 100.0
+        rows.append(
+            (wname, res_bsp.mean_bct, res_s.mean_bct, bct_ps_worker, overhead)
+        )
+    return rows
+
+
+__all__ = [
+    "accuracy_experiment",
+    "fig1_fig2_timelines",
+    "fig3_comm_share",
+    "fig6a_throughput",
+    "fig6b_fig6c_accuracy",
+    "fig6d_bst",
+    "fig7_tta_images",
+    "fig8_tta_nlp",
+    "fig9_bct_colocated",
+    "motivation_gpu_comm",
+    "paper_sync_models",
+]

@@ -1,0 +1,77 @@
+"""Multi-seed statistics: run an experiment across seeds and aggregate.
+
+Single-seed comparisons can flatter whichever method got a lucky draw;
+`run_seeds` repeats a trainer-factory across seeds and reports mean ± std
+for the headline metrics, so benchmark claims can be checked for
+seed-robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.trainer import TrainingResult
+
+
+@dataclass(frozen=True)
+class SeedStats:
+    """Aggregate of one metric across seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g}"
+
+
+@dataclass(frozen=True)
+class MultiSeedResult:
+    """Per-metric statistics for one (workload, sync) configuration."""
+
+    throughput: SeedStats
+    best_metric: SeedStats
+    mean_bst: SeedStats
+
+    @classmethod
+    def from_results(cls, results: Sequence[TrainingResult]) -> "MultiSeedResult":
+        return cls(
+            throughput=SeedStats(tuple(r.throughput for r in results)),
+            best_metric=SeedStats(tuple(r.best_metric for r in results)),
+            mean_bst=SeedStats(tuple(r.mean_bst for r in results)),
+        )
+
+
+def run_seeds(
+    trainer_factory: Callable[[int], "DistributedTrainer"],  # noqa: F821
+    seeds: Sequence[int],
+) -> MultiSeedResult:
+    """Run ``trainer_factory(seed)`` for each seed and aggregate.
+
+    The factory must build a *fresh* trainer per call (trainers are
+    single-use).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [trainer_factory(int(s)).run() for s in seeds]
+    return MultiSeedResult.from_results(results)
+
+
+__all__ = ["MultiSeedResult", "SeedStats", "run_seeds"]

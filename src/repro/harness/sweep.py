@@ -1,0 +1,150 @@
+"""Parameter sweeps: sensitivity of the sync-model comparison to cluster
+knobs (bandwidth, worker count, jitter, compute speed).
+
+The headline use is the **crossover analysis**: OSP's advantage over BSP
+and its parity with ASP depend on the compute/communication ratio
+``rho = T_c / (2·N·S/b)``. Sweeping bandwidth (or GPU speed) moves rho
+through three regimes:
+
+* ``rho >> 1`` (fast network / slow GPU): communication is negligible —
+  every sync model converges to the compute-bound throughput.
+* ``rho ≈ 1``: OSP's overlap shines — it hides what BSP exposes.
+* ``rho << 1`` (slow network): even ICS cannot fit inside T_c (Eq. 5
+  binds); OSP degrades gracefully toward the best non-overlapped schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+from repro.cluster.spec import ClusterSpec, TrainingPlan
+from repro.cluster.engines import TimingEngine
+from repro.cluster.trainer import DistributedTrainer
+from repro.hardware.jitter import LognormalJitter
+from repro.netsim.links import LinkSpec
+from repro.nn.models.registry import get_card
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration's outcome in a sweep."""
+
+    knob: str
+    value: float
+    sync: str
+    throughput: float
+    mean_bst: float
+    comm_compute_ratio: float  # rho = T_c / (2 N S / b)
+
+
+def _run_one(
+    card_name: str,
+    sync_factory: Callable,
+    bandwidth: float,
+    n_workers: int,
+    sigma: float,
+    epochs: int,
+    ipe: int,
+    seed: int,
+) -> tuple[float, float, float]:
+    spec = ClusterSpec(
+        n_workers=n_workers,
+        link=LinkSpec(bandwidth=bandwidth),
+        jitter=LognormalJitter(sigma=sigma, seed=seed),
+    )
+    plan = TrainingPlan(n_epochs=epochs, iterations_per_epoch=ipe, seed=seed)
+    engine = TimingEngine(get_card(card_name), spec, total_iterations=epochs * ipe, seed=seed)
+    engine.tau = max(1.0, epochs * ipe / 6.0)
+    res = DistributedTrainer(spec, plan, engine, sync_factory()).run()
+    t_c = engine.base_compute_time(spec)
+    rho = t_c / (2.0 * n_workers * engine.model_bytes / bandwidth)
+    return res.throughput, res.mean_bst, rho
+
+
+def sweep_bandwidth(
+    sync_factories: Sequence[Callable],
+    bandwidths: Iterable[float],
+    card_name: str = "resnet50-cifar10",
+    n_workers: int = 8,
+    sigma: float = 0.1,
+    epochs: int = 16,
+    ipe: int = 6,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Sweep the per-node link bandwidth (bytes/second)."""
+    points = []
+    for b in bandwidths:
+        for factory in sync_factories:
+            sync_name = factory().name
+            thr, bst, rho = _run_one(
+                card_name, factory, b, n_workers, sigma, epochs, ipe, seed
+            )
+            points.append(
+                SweepPoint("bandwidth", float(b), sync_name, thr, bst, rho)
+            )
+    return points
+
+
+def sweep_workers(
+    sync_factories: Sequence[Callable],
+    worker_counts: Iterable[int],
+    card_name: str = "resnet50-cifar10",
+    bandwidth: float | None = None,
+    sigma: float = 0.1,
+    epochs: int = 16,
+    ipe: int = 6,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Sweep the cluster size."""
+    b = bandwidth if bandwidth is not None else LinkSpec().bandwidth
+    points = []
+    for n in worker_counts:
+        for factory in sync_factories:
+            sync_name = factory().name
+            thr, bst, rho = _run_one(
+                card_name, factory, b, int(n), sigma, epochs, ipe, seed
+            )
+            points.append(SweepPoint("workers", float(n), sync_name, thr, bst, rho))
+    return points
+
+
+def sweep_jitter(
+    sync_factories: Sequence[Callable],
+    sigmas: Iterable[float],
+    card_name: str = "resnet50-cifar10",
+    n_workers: int = 8,
+    epochs: int = 16,
+    ipe: int = 6,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Sweep straggler severity (lognormal sigma)."""
+    b = LinkSpec().bandwidth
+    points = []
+    for s in sigmas:
+        for factory in sync_factories:
+            sync_name = factory().name
+            thr, bst, rho = _run_one(
+                card_name, factory, b, n_workers, float(s), epochs, ipe, seed
+            )
+            points.append(SweepPoint("sigma", float(s), sync_name, thr, bst, rho))
+    return points
+
+
+def speedup_over(points: Sequence[SweepPoint], base_sync: str, sync: str) -> list[tuple[float, float]]:
+    """(knob value, throughput ratio sync/base) pairs from a sweep."""
+    base = {p.value: p.throughput for p in points if p.sync == base_sync}
+    out = []
+    for p in points:
+        if p.sync == sync and p.value in base and base[p.value] > 0:
+            out.append((p.value, p.throughput / base[p.value]))
+    return sorted(out)
+
+
+__all__ = [
+    "SweepPoint",
+    "speedup_over",
+    "sweep_bandwidth",
+    "sweep_jitter",
+    "sweep_workers",
+]

@@ -1,0 +1,58 @@
+"""JSON (de)serialisation for experiment results.
+
+Benchmarks and the CLI can persist a :class:`Recorder` to disk and reload
+it for post-hoc analysis without re-running simulations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.metrics.recorder import EpochRecord, IterationRecord, Recorder
+
+
+def recorder_to_dict(recorder: Recorder) -> dict:
+    """Plain-dict form of a recorder (JSON-serialisable)."""
+    return {
+        "iterations": [vars(r).copy() for r in recorder.iterations],
+        "epochs": [vars(r).copy() for r in recorder.epochs],
+        "summary": {
+            "throughput": recorder.throughput(),
+            "mean_bst": recorder.mean_bst(),
+            "mean_bct": recorder.mean_bct(),
+            "best_metric": recorder.best_metric(),
+            "iterations_to_best": recorder.iterations_to_best(),
+            "total_iterations": recorder.total_iterations,
+            "end_time": recorder.end_time(),
+        },
+    }
+
+
+def recorder_from_dict(payload: dict) -> Recorder:
+    """Inverse of :func:`recorder_to_dict` (summary is recomputed)."""
+    rec = Recorder()
+    for d in payload.get("iterations", []):
+        rec.record_iteration(IterationRecord(**d))
+    for d in payload.get("epochs", []):
+        rec.record_epoch(EpochRecord(**d))
+    return rec
+
+
+def save_recorder(recorder: Recorder, path: Union[str, Path]) -> None:
+    """Write a recorder to a JSON file."""
+    Path(path).write_text(json.dumps(recorder_to_dict(recorder)))
+
+
+def load_recorder(path: Union[str, Path]) -> Recorder:
+    """Read a recorder from a JSON file."""
+    return recorder_from_dict(json.loads(Path(path).read_text()))
+
+
+__all__ = [
+    "load_recorder",
+    "recorder_from_dict",
+    "recorder_to_dict",
+    "save_recorder",
+]

@@ -1,0 +1,72 @@
+"""ASCII timeline (Gantt) rendering for iteration/flow traces.
+
+Turns iteration records into per-worker compute/sync bars — the textual
+equivalent of the paper's Fig. 1/Fig. 2 timeline diagrams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.metrics.recorder import IterationRecord
+
+#: glyphs: compute, synchronization, idle
+_COMPUTE = "#"
+_SYNC = "="
+_IDLE = "."
+
+
+def render_timeline(
+    iterations: Iterable[IterationRecord],
+    width: int = 72,
+    until: float | None = None,
+) -> str:
+    """Render per-worker compute (#) / sync (=) bars over virtual time.
+
+    Parameters
+    ----------
+    iterations:
+        Iteration records (any order); one row is drawn per worker.
+    width:
+        Characters across the full time span.
+    until:
+        Clip the horizon (defaults to the last record's end).
+    """
+    recs = sorted(iterations, key=lambda r: (r.worker, r.start_time))
+    if not recs:
+        return "(empty timeline)"
+    horizon = until if until is not None else max(
+        r.start_time + r.compute_time + r.sync_time for r in recs
+    )
+    if horizon <= 0:
+        return "(zero-length timeline)"
+    scale = width / horizon
+
+    def span(a: float, b: float) -> tuple[int, int]:
+        return int(a * scale), max(int(a * scale) + 1, int(b * scale))
+
+    workers = sorted({r.worker for r in recs})
+    lines = []
+    for w in workers:
+        row = [_IDLE] * width
+        for r in recs:
+            if r.worker != w or r.start_time >= horizon:
+                continue
+            c0, c1 = span(r.start_time, min(horizon, r.start_time + r.compute_time))
+            for i in range(c0, min(c1, width)):
+                row[i] = _COMPUTE
+            s0, s1 = span(
+                r.start_time + r.compute_time,
+                min(horizon, r.start_time + r.compute_time + r.sync_time),
+            )
+            for i in range(s0, min(s1, width)):
+                row[i] = _SYNC
+        lines.append(f"w{w:<2d} |{''.join(row)}|")
+    lines.append(
+        f"     0{' ' * (width - len(f'{horizon:.2f}') - 1)}{horizon:.2f}s   "
+        f"({_COMPUTE}=compute, {_SYNC}=sync, {_IDLE}=idle)"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["render_timeline"]

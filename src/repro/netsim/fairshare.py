@@ -1,0 +1,98 @@
+"""Max–min fair rate allocation by progressive filling.
+
+Pure function so it can be property-tested in isolation. Given flows (each a
+set of links it crosses) and link capacities, compute each flow's rate such
+that:
+
+1. no link's capacity is exceeded,
+2. every flow is *bottlenecked*: its rate cannot be increased without
+   decreasing the rate of another flow with an equal-or-smaller rate.
+
+Algorithm: repeatedly find the link with the smallest per-flow fair share
+among its unfrozen flows, freeze those flows at that share, subtract their
+consumption from all their links, repeat. O(L²·F) worst case — fine for the
+dozens of concurrent flows a PS rack produces.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+_EPS = 1e-12
+
+
+def max_min_fair_rates(
+    flow_routes: Mapping[Hashable, Sequence[Hashable]],
+    capacities: Mapping[Hashable, float],
+) -> dict[Hashable, float]:
+    """Compute max–min fair rates.
+
+    Parameters
+    ----------
+    flow_routes:
+        Map ``flow_id -> sequence of link_ids`` the flow crosses. A flow
+        with an empty route (loopback) gets rate ``inf``.
+    capacities:
+        Map ``link_id -> capacity`` (bytes/second, must be positive).
+
+    Returns
+    -------
+    dict
+        ``flow_id -> rate``. Deterministic for identical inputs (iteration
+        follows insertion order of the mappings; ties broken by first link
+        encountered).
+    """
+    for link, cap in capacities.items():
+        if cap <= 0:
+            raise ValueError(f"link {link!r} has non-positive capacity {cap}")
+
+    rates: dict[Hashable, float] = {}
+    unfrozen: dict[Hashable, tuple[Hashable, ...]] = {}
+    for fid, route in flow_routes.items():
+        route = tuple(route)
+        for link in route:
+            if link not in capacities:
+                raise ValueError(f"flow {fid!r} crosses unknown link {link!r}")
+        if not route:
+            rates[fid] = float("inf")
+        else:
+            unfrozen[fid] = route
+
+    remaining = dict(capacities)
+    # flows per link (only unfrozen ones matter)
+    link_flows: dict[Hashable, set] = {}
+    for fid, route in unfrozen.items():
+        for link in set(route):
+            link_flows.setdefault(link, set()).add(fid)
+
+    while unfrozen:
+        # Find bottleneck: smallest remaining/num_flows among loaded links.
+        bottleneck = None
+        best_share = float("inf")
+        for link, flows in link_flows.items():
+            if not flows:
+                continue
+            share = remaining[link] / len(flows)
+            if share < best_share - _EPS:
+                best_share = share
+                bottleneck = link
+        if bottleneck is None:  # pragma: no cover - defensive
+            raise RuntimeError("no bottleneck found with unfrozen flows left")
+
+        frozen_now = sorted(link_flows[bottleneck], key=_sort_key)
+        for fid in frozen_now:
+            rates[fid] = best_share
+            for link in set(unfrozen[fid]):
+                remaining[link] = max(0.0, remaining[link] - best_share)
+                link_flows[link].discard(fid)
+            del unfrozen[fid]
+
+    return rates
+
+
+def _sort_key(fid) -> tuple:
+    """Deterministic ordering key for heterogeneous flow ids."""
+    return (str(type(fid).__name__), str(fid))
+
+
+__all__ = ["max_min_fair_rates"]

@@ -1,0 +1,67 @@
+"""Flow state and completed-flow records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.netsim.links import Link
+from repro.simcore.events import Event
+
+
+@dataclass
+class Flow:
+    """An in-flight transfer (mutable scheduler state).
+
+    ``remaining`` counts *effective* bytes (payload inflated by the route
+    loss rate); ``rate`` is the current max–min fair allocation.
+    """
+
+    fid: int
+    src: int | str
+    dst: int | str
+    size: float  # payload bytes as requested by the caller
+    remaining: float  # effective bytes still to move
+    route: tuple[Link, ...]
+    latency: float  # one-way route latency (added after draining)
+    done: Event  # succeeds with a FlowRecord
+    tag: Any = None
+    start_time: float = 0.0
+    rate: float = 0.0
+
+    def __hash__(self) -> int:
+        return self.fid
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow #{self.fid} {self.src}->{self.dst} "
+            f"{self.size / 1e6:.2f}MB tag={self.tag!r}>"
+        )
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Immutable record of a completed transfer (the ``done`` event value)."""
+
+    fid: int
+    src: int | str
+    dst: int | str
+    size: float
+    tag: Any
+    start_time: float
+    end_time: float
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock (virtual) duration of the transfer in seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def effective_rate(self) -> float:
+        """Average goodput in bytes/second."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.size / self.duration
+
+
+__all__ = ["Flow", "FlowRecord"]

@@ -1,0 +1,86 @@
+"""Link specifications and runtime link objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Bytes per second for a 10 Gigabit/s Ethernet link (the paper's testbed).
+TEN_GBPS = 10e9 / 8.0
+#: Bytes per second for 1/25/40/100 GbE, for scaling studies.
+ONE_GBPS = 1e9 / 8.0
+TWENTY_FIVE_GBPS = 25e9 / 8.0
+FORTY_GBPS = 40e9 / 8.0
+HUNDRED_GBPS = 100e9 / 8.0
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Static description of a (directed) link.
+
+    Parameters
+    ----------
+    bandwidth:
+        Capacity in **bytes per second**.
+    latency:
+        One-way propagation + switching delay in seconds.
+    loss_rate:
+        Fraction of traffic lost and retransmitted (0 ≤ p < 1). Modelled as
+        goodput inflation: effective bytes = size × (1 + p) per Eq. 5.
+    """
+
+    bandwidth: float = TEN_GBPS
+    latency: float = 50e-6
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError(f"loss_rate must be in [0,1), got {self.loss_rate}")
+
+
+@dataclass
+class Link:
+    """A directed link instance in a topology.
+
+    ``name`` is globally unique within a topology (e.g. ``"up:3"`` for node
+    3's uplink). Runtime counters track cumulative bytes for utilisation
+    reporting.
+    """
+
+    name: str
+    spec: LinkSpec
+    bytes_carried: float = field(default=0.0, init=False)
+    busy_time: float = field(default=0.0, init=False)
+
+    @property
+    def bandwidth(self) -> float:
+        """Capacity in bytes/second."""
+        return self.spec.bandwidth
+
+    def utilization(self, elapsed: float) -> float:
+        """Average utilisation over ``elapsed`` seconds of simulated time."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.bytes_carried / (self.bandwidth * elapsed))
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:
+        gbps = self.bandwidth * 8 / 1e9
+        return f"<Link {self.name} {gbps:.1f}Gbps>"
+
+
+__all__ = [
+    "Link",
+    "LinkSpec",
+    "ONE_GBPS",
+    "TEN_GBPS",
+    "TWENTY_FIVE_GBPS",
+    "FORTY_GBPS",
+    "HUNDRED_GBPS",
+]

@@ -1,0 +1,210 @@
+"""The Network facade: event-driven fluid-flow transfer scheduling.
+
+Whenever a flow starts or finishes, the scheduler (1) *drains* all active
+flows by their current rates over the elapsed interval, (2) recomputes
+max–min fair rates, and (3) schedules a wake-up at the earliest projected
+completion. Wake-ups are versioned so a superseded timer is ignored rather
+than cancelled (the kernel has no cancellation primitive — versioning is
+cheaper and deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.netsim.fairshare import max_min_fair_rates
+from repro.netsim.flows import Flow, FlowRecord
+from repro.netsim.links import Link
+from repro.netsim.topology import StarTopology
+from repro.simcore.environment import Environment
+from repro.simcore.events import Event
+from repro.simcore.priority import URGENT
+
+#: Flows with fewer remaining effective bytes than this are complete.
+_BYTE_EPS = 1e-6
+
+
+class Network:
+    """Transfer scheduler over a topology.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (clock source and event queue).
+    topology:
+        Any object exposing ``route``, ``route_latency``, ``route_loss`` and
+        ``links`` (see :class:`~repro.netsim.topology.StarTopology`).
+    keep_records:
+        If True (default), completed transfers are appended to
+        :attr:`records` for post-hoc analysis (BST breakdowns, Fig. 1/2
+        timelines).
+    """
+
+    def __init__(self, env: Environment, topology: StarTopology, keep_records: bool = True) -> None:
+        self.env = env
+        self.topology = topology
+        self.keep_records = keep_records
+        self.records: list[FlowRecord] = []
+        self._active: dict[int, Flow] = {}
+        self._next_fid = 0
+        self._last_update = env.now
+        self._timer_version = 0
+        self._capacities = {l.name: l.bandwidth for l in topology.links}
+        self._links_by_name = {l.name: l for l in topology.links}
+
+    # ------------------------------------------------------------------ API
+    @property
+    def active_flows(self) -> list[Flow]:
+        """Snapshot of in-flight flows (ordered by flow id)."""
+        return [self._active[fid] for fid in sorted(self._active)]
+
+    def transfer(self, src, dst, size: float, tag: Any = None) -> Event:
+        """Start a transfer of ``size`` payload bytes from ``src`` to ``dst``.
+
+        Returns an event that succeeds with a :class:`FlowRecord` when the
+        last byte arrives (serialisation under fair sharing + route latency).
+        Loopback (``src == dst``) completes after zero time at the same
+        instant, modelling co-located PS communication through shared memory.
+        """
+        if size < 0:
+            raise ValueError(f"negative transfer size {size}")
+        route = tuple(self.topology.route(src, dst))
+        latency = self.topology.route_latency(src, dst)
+        loss = self.topology.route_loss(src, dst)
+        done = Event(self.env)
+        fid = self._next_fid
+        self._next_fid += 1
+
+        flow = Flow(
+            fid=fid,
+            src=src,
+            dst=dst,
+            size=float(size),
+            remaining=float(size) * (1.0 + loss),
+            route=route,
+            latency=latency,
+            done=done,
+            tag=tag,
+            start_time=self.env.now,
+        )
+
+        if not route or flow.remaining <= _BYTE_EPS:
+            # Loopback or empty payload: only latency applies.
+            self._finish(flow)
+            return done
+
+        self._drain()
+        self._active[fid] = flow
+        self._rerate()
+        return done
+
+    def transfer_process(self, src, dst, size: float, tag: Any = None):
+        """Generator wrapper so callers can ``yield from`` a transfer."""
+        record = yield self.transfer(src, dst, size, tag=tag)
+        return record
+
+    def bulk_time(self, src, dst, size: float) -> float:
+        """Analytic duration of a *lone* transfer (no contention).
+
+        Useful for closed-form expectations in tests and for the paper's
+        Eq. 5 upper-bound computation.
+        """
+        route = self.topology.route(src, dst)
+        latency = self.topology.route_latency(src, dst)
+        if not route or size <= 0:
+            return latency
+        loss = self.topology.route_loss(src, dst)
+        bottleneck = min(l.bandwidth for l in route)
+        return size * (1.0 + loss) / bottleneck + latency
+
+    def link_utilization(self, name: str) -> float:
+        """Average utilisation of link ``name`` since t=0."""
+        link = self._links_by_name[name]
+        return link.utilization(self.env.now)
+
+    # ------------------------------------------------------------ internals
+    def _drain(self) -> None:
+        """Advance all active flows to the current instant."""
+        now = self.env.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._active.values():
+                moved = flow.rate * dt
+                if moved > 0:
+                    flow.remaining = max(0.0, flow.remaining - moved)
+                    for link in flow.route:
+                        link.bytes_carried += moved
+        self._last_update = now
+
+    def _rerate(self) -> None:
+        """Recompute fair rates, complete drained flows, arm the next timer."""
+        now = self.env.now
+        while True:
+            # Complete flows that have fully drained.
+            finished = [
+                f for f in self._active.values() if f.remaining <= _BYTE_EPS
+            ]
+            for flow in finished:
+                del self._active[flow.fid]
+                self._finish(flow)
+
+            self._timer_version += 1
+            if not self._active:
+                return
+
+            routes = {
+                fid: [l.name for l in f.route]
+                for fid, f in sorted(self._active.items())
+            }
+            rates = max_min_fair_rates(routes, self._capacities)
+            horizon = float("inf")
+            for fid, flow in self._active.items():
+                flow.rate = rates[fid]
+                if flow.rate > 0:
+                    horizon = min(horizon, flow.remaining / flow.rate)
+            if horizon == float("inf"):  # pragma: no cover - defensive
+                raise RuntimeError("active flows but no positive rate")
+
+            if now + horizon > now:
+                break
+            # Float-precision guard: the nearest completion is too close to
+            # advance the clock (remaining bytes are sub-epsilon relative to
+            # the current timestamp). Without this, the timer would re-arm
+            # at the same instant forever. Zero those flows and loop.
+            for flow in self._active.values():
+                if flow.rate > 0 and now + flow.remaining / flow.rate <= now:
+                    flow.remaining = 0.0
+
+        version = self._timer_version
+        timer = self.env.timeout(horizon)
+        timer.callbacks.append(lambda _ev, v=version: self._on_timer(v))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # superseded by a more recent flow start/finish
+        self._drain()
+        self._rerate()
+
+    def _finish(self, flow: Flow) -> None:
+        """Deliver the completion event after the route's one-way latency."""
+        record = FlowRecord(
+            fid=flow.fid,
+            src=flow.src,
+            dst=flow.dst,
+            size=flow.size,
+            tag=flow.tag,
+            start_time=flow.start_time,
+            end_time=self.env.now + flow.latency,
+        )
+        if self.keep_records:
+            self.records.append(record)
+        if flow.latency > 0:
+            timer = self.env.timeout(flow.latency)
+            timer.callbacks.append(
+                lambda _ev: flow.done.succeed(record, priority=URGENT)
+            )
+        else:
+            flow.done.succeed(record, priority=URGENT)
+
+
+__all__ = ["Network"]

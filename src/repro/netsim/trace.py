@@ -1,0 +1,89 @@
+"""Chrome-tracing export for simulation runs.
+
+Converts flow records and iteration records into the Trace Event Format
+(the JSON consumed by ``chrome://tracing`` / Perfetto), so a simulated
+training run can be inspected on a real timeline UI: one row per node for
+transfers, one row per worker for compute/sync phases.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.metrics.recorder import IterationRecord
+from repro.netsim.flows import FlowRecord
+
+#: Trace timestamps are microseconds.
+_US = 1e6
+
+
+def flows_to_trace_events(records: Iterable[FlowRecord]) -> list[dict]:
+    """One complete ('X') event per flow, on the source node's row."""
+    events = []
+    for r in records:
+        events.append(
+            {
+                "name": str(r.tag) if r.tag is not None else f"flow{r.fid}",
+                "cat": "network",
+                "ph": "X",
+                "ts": r.start_time * _US,
+                "dur": max(1.0, r.duration * _US),
+                "pid": "network",
+                "tid": f"node {r.src} -> {r.dst}",
+                "args": {"bytes": r.size, "src": str(r.src), "dst": str(r.dst)},
+            }
+        )
+    return events
+
+
+def iterations_to_trace_events(records: Iterable[IterationRecord]) -> list[dict]:
+    """Two events per iteration: a compute span and a sync span."""
+    events = []
+    for r in records:
+        base = {
+            "cat": "training",
+            "ph": "X",
+            "pid": "workers",
+            "tid": f"worker {r.worker}",
+        }
+        events.append(
+            {
+                **base,
+                "name": f"compute it{r.iteration}",
+                "ts": r.start_time * _US,
+                "dur": max(1.0, r.compute_time * _US),
+                "args": {"loss": r.loss},
+            }
+        )
+        events.append(
+            {
+                **base,
+                "name": f"sync it{r.iteration}",
+                "ts": (r.start_time + r.compute_time) * _US,
+                "dur": max(1.0, r.sync_time * _US),
+                "args": {},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    flow_records: Iterable[FlowRecord] = (),
+    iteration_records: Iterable[IterationRecord] = (),
+) -> int:
+    """Write a combined trace file; returns the number of events."""
+    events = flows_to_trace_events(flow_records) + iterations_to_trace_events(
+        iteration_records
+    )
+    Path(path).write_text(json.dumps({"traceEvents": events}))
+    return len(events)
+
+
+__all__ = [
+    "flows_to_trace_events",
+    "iterations_to_trace_events",
+    "write_chrome_trace",
+]

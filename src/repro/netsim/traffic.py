@@ -1,0 +1,96 @@
+"""Background (cross-) traffic generators.
+
+Production racks are multi-tenant: training shares the ToR with storage,
+logging, and other jobs. These generators inject such cross-traffic as
+ordinary flows so the fluid scheduler makes training and background flows
+contend realistically — used by the congestion robustness study.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.netsim.network import Network
+from repro.simcore.environment import Environment
+
+
+def poisson_background(
+    env: Environment,
+    network: Network,
+    pairs: Sequence[tuple[int, int]],
+    mean_interarrival: float,
+    mean_size: float,
+    rng: np.random.Generator,
+    until: float | None = None,
+):
+    """Generator process: Poisson arrivals of exponential-size flows.
+
+    Each arrival picks a (src, dst) pair uniformly. Returns the number of
+    flows injected (available as the process's value). Flows are
+    fire-and-forget: their completion events are defused so an unfinished
+    flow at simulation end is not an error.
+
+    Parameters
+    ----------
+    pairs:
+        Candidate (src, dst) node pairs.
+    mean_interarrival:
+        Mean seconds between flow arrivals (exponential).
+    mean_size:
+        Mean flow size in bytes (exponential).
+    until:
+        Stop injecting at this virtual time (None = run as long as the
+        simulation has other work; the generator stops when interrupted or
+        the horizon passes).
+    """
+    if not pairs:
+        raise ValueError("need at least one (src, dst) pair")
+    if mean_interarrival <= 0 or mean_size <= 0:
+        raise ValueError("mean_interarrival and mean_size must be positive")
+    count = 0
+    while until is None or env.now < until:
+        yield env.timeout(rng.exponential(mean_interarrival))
+        if until is not None and env.now >= until:
+            break
+        src, dst = pairs[int(rng.integers(len(pairs)))]
+        size = max(1.0, rng.exponential(mean_size))
+        done = network.transfer(src, dst, size, tag=("background", count))
+        done.defused = True
+        count += 1
+    return count
+
+
+def constant_background_load(
+    env: Environment,
+    network: Network,
+    src: int,
+    dst: int,
+    load_fraction: float,
+    chunk_seconds: float = 0.1,
+    until: float | None = None,
+):
+    """Generator process: saturate a fraction of the src→dst path.
+
+    Sends back-to-back chunks sized so that, alone, the path would be busy
+    ``load_fraction`` of the time — a steady competing tenant.
+    """
+    if not (0.0 < load_fraction <= 1.0):
+        raise ValueError(f"load_fraction must be in (0,1], got {load_fraction}")
+    route = network.topology.route(src, dst)
+    if not route:
+        raise ValueError("background load needs a non-loopback path")
+    bottleneck = min(l.bandwidth for l in route)
+    chunk = bottleneck * chunk_seconds * load_fraction
+    count = 0
+    while until is None or env.now < until:
+        yield network.transfer(src, dst, chunk, tag=("bg-load", count))
+        count += 1
+        idle = chunk_seconds * (1.0 - load_fraction)
+        if idle > 0:
+            yield env.timeout(idle)
+    return count
+
+
+__all__ = ["constant_background_load", "poisson_background"]

@@ -1,0 +1,200 @@
+"""Standard layers: linear, convolution, normalisation, pooling, etc.
+
+Every parameterised layer takes an explicit ``rng`` for deterministic
+initialisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with W of shape (in_features, out_features)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        init_fn=init.kaiming_normal,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init_fn((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel, with running stats."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(init.ones(num_features))
+        self.beta = Parameter(init.zeros(num_features))
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            mean = x.data.mean(axis=(0, 2, 3))
+            var = x.data.var(axis=(0, 2, 3))
+            self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
+            self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        # Normalise with the (non-differentiated) batch statistics. Treating
+        # mean/var as constants is the "frozen statistics" approximation; it
+        # keeps the tape small and is accurate for the small LR regime here.
+        scale = self.gamma * (1.0 / np.sqrt(var + self.eps))
+        shift = self.beta - Tensor(mean) * scale
+        return x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension (transformer convention)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(init.ones(dim))
+        self.beta = Parameter(init.zeros(dim))
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / ((var + self.eps) ** 0.5)
+        return normed * self.gamma + self.beta
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class GELU(Module):
+    """Gaussian error linear unit (tanh approximation, as in BERT)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        inner = (x + x * x * x * 0.044715) * np.sqrt(2.0 / np.pi)
+        return x * (inner.tanh() + 1.0) * 0.5
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+
+class MaxPool2d(Module):
+    """Max pooling."""
+
+    def __init__(self, kernel: int = 2, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, kernel=self.kernel, stride=self.stride)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling."""
+
+    def __init__(self, kernel: int = 2) -> None:
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, kernel=self.kernel)
+
+
+class Flatten(Module):
+    """Flatten all but the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Embedding(Module):
+    """Token embedding table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.weight = Parameter(init.normal((num_embeddings, dim), rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, indices)
+
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Embedding",
+    "Flatten",
+    "GELU",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Tanh",
+]

@@ -1,0 +1,29 @@
+"""Model zoo: mini-scale versions of the paper's five workload models plus
+the :class:`~repro.nn.models.registry.ModelCard` registry carrying the
+paper-scale parameter/FLOP counts used by the timing simulator."""
+
+from repro.nn.models.mlp import MLP
+from repro.nn.models.vgg import MiniVGG
+from repro.nn.models.resnet import MiniResNet, ResidualBlock
+from repro.nn.models.inception import InceptionBlock, MiniInception
+from repro.nn.models.bert import TinyBERT
+from repro.nn.models.registry import (
+    MODEL_CARDS,
+    ModelCard,
+    get_card,
+    synthetic_layer_sizes,
+)
+
+__all__ = [
+    "InceptionBlock",
+    "MLP",
+    "MODEL_CARDS",
+    "MiniInception",
+    "MiniResNet",
+    "MiniVGG",
+    "ModelCard",
+    "ResidualBlock",
+    "TinyBERT",
+    "get_card",
+    "synthetic_layer_sizes",
+]

@@ -1,0 +1,59 @@
+"""TinyBERT: a small transformer encoder with a QA span head, standing in
+for BERT-base fine-tuned on SQuAD v1.1 (§5.1.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.attention import TransformerBlock
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn import init
+
+
+class TinyBERT(Module):
+    """Token + position embeddings → transformer blocks → span head.
+
+    ``forward(tokens)`` with integer tokens of shape (batch, seq) returns
+    ``(start_logits, end_logits)``, each (batch, seq) — the extractive-QA
+    output convention.
+    """
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        max_seq: int = 16,
+        dim: int = 32,
+        n_heads: int = 2,
+        n_layers: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.max_seq = max_seq
+        self.tok_emb = Embedding(vocab_size, dim, rng)
+        self.pos_emb = Parameter(init.normal((max_seq, dim), rng))
+        self.blocks = Sequential(
+            *[TransformerBlock(dim, n_heads, rng) for _ in range(n_layers)]
+        )
+        self.ln_f = LayerNorm(dim)
+        self.qa_head = Linear(dim, 2, rng)
+
+    def forward(self, tokens: np.ndarray) -> tuple[Tensor, Tensor]:
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be (batch, seq), got {tokens.shape}")
+        seq = tokens.shape[1]
+        if seq > self.max_seq:
+            raise ValueError(f"sequence length {seq} exceeds max {self.max_seq}")
+        x = self.tok_emb(tokens) + self.pos_emb[:seq]
+        x = self.blocks(x)
+        x = self.ln_f(x)
+        logits = self.qa_head(x)  # (B, S, 2)
+        start_logits = logits[:, :, 0]
+        end_logits = logits[:, :, 1]
+        return start_logits, end_logits
+
+
+__all__ = ["TinyBERT"]

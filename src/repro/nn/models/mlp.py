@@ -1,0 +1,43 @@
+"""Plain multilayer perceptron — the quickstart/example model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Linear, ReLU
+from repro.nn.module import Module, Sequential
+
+
+class MLP(Module):
+    """Fully connected classifier with ReLU hidden layers.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths, e.g. ``[64, 128, 10]`` for one hidden layer.
+    seed:
+        Initialisation seed.
+    """
+
+    def __init__(self, sizes: list[int], seed: int = 0) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError(f"need at least input and output sizes, got {sizes}")
+        rng = np.random.default_rng(seed)
+        layers: list[Module] = []
+        for i in range(len(sizes) - 1):
+            layers.append(Linear(sizes[i], sizes[i + 1], rng))
+            if i < len(sizes) - 2:
+                layers.append(ReLU())
+        self.net = Sequential(*layers)
+
+    def forward(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.net(x)
+
+
+__all__ = ["MLP"]

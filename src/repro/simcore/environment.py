@@ -1,0 +1,132 @@
+"""The simulation environment: virtual clock + event queue + run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.simcore.events import Event, Timeout
+from repro.simcore.priority import NORMAL
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused (e.g. running past an
+    empty queue with ``until`` set, or an unhandled failure surfaces)."""
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    The environment owns the virtual clock (:attr:`now`) and the event queue.
+    Time units are arbitrary; this project uses **seconds** throughout.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0  # insertion counter: deterministic FIFO tie-break
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":  # noqa: F821
+        """Start a new process from a generator; returns its Process event."""
+        from repro.simcore.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events) -> Event:
+        """Event that fires when all of ``events`` have succeeded."""
+        from repro.simcore.events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events) -> Event:
+        """Event that fires when any of ``events`` has succeeded."""
+        from repro.simcore.events import AnyOf
+
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Queue a triggered event for processing at ``now + delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        assert when >= self._now, "event queue went backwards in time"
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event.defused:
+            exc = event.value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(f"event failed with non-exception {exc!r}")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the queue drains.
+            ``float`` — run until the clock reaches that time (clock is set
+            to exactly ``until`` on return even if the queue drained early).
+            :class:`Event` — run until that event has been processed and
+            return its value (re-raising its failure).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            while not sentinel.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "run(until=event): queue drained before event triggered"
+                    )
+                self.step()
+            if not sentinel.ok:
+                raise sentinel.value
+            return sentinel.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+
+__all__ = ["Environment", "SimulationError"]

@@ -1,0 +1,145 @@
+"""Shared-resource primitives built on the event kernel.
+
+- :class:`Resource` — counted resource with FIFO request queue (e.g. a PS
+  that serves one worker at a time under round-robin R²SP).
+- :class:`Store` — unbounded FIFO message store (producer/consumer channel;
+  used for worker↔PS control messages such as GIB delivery).
+- :class:`Barrier` — cyclic barrier for ``n`` parties (BSP's global barrier
+  and OSP's RS barrier).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.simcore.events import Event
+from repro.simcore.priority import URGENT
+
+
+class Resource:
+    """Counted resource with FIFO granting.
+
+    ``request()`` returns an event that succeeds once a unit is available;
+    ``release()`` frees a unit. Typical process usage::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # critical section
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:  # noqa: F821
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending requests."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that succeeds when a unit is granted."""
+        ev = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(priority=URGENT)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free one unit, granting it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed(priority=URGENT)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """Unbounded FIFO store of items (an async channel).
+
+    ``put(item)`` is immediate; ``get()`` returns an event that succeeds with
+    the next item (immediately if one is buffered).
+    """
+
+    def __init__(self, env: "Environment") -> None:  # noqa: F821
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item; wakes the oldest waiting getter, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item, priority=URGENT)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that succeeds with the next item in FIFO order."""
+        ev = Event(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft(), priority=URGENT)
+        else:
+            self._getters.append(ev)
+        return ev
+
+
+class Barrier:
+    """Cyclic barrier for ``parties`` processes.
+
+    Each party calls :meth:`wait` and yields the returned event; the event
+    for all parties of a generation succeeds at the instant the last party
+    arrives. The barrier then resets for the next generation. The event
+    value is the generation index (0-based), handy for iteration accounting.
+    """
+
+    def __init__(self, env: "Environment", parties: int) -> None:  # noqa: F821
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.parties = int(parties)
+        self._generation = 0
+        self._arrived = 0
+        self._event = Event(env)
+
+    @property
+    def generation(self) -> int:
+        """Completed-generation counter (increments when barrier trips)."""
+        return self._generation
+
+    @property
+    def waiting(self) -> int:
+        """Parties currently blocked at the barrier."""
+        return self._arrived
+
+    def wait(self) -> Event:
+        """Arrive at the barrier; returns the generation's trip event."""
+        ev = self._event
+        self._arrived += 1
+        if self._arrived == self.parties:
+            gen = self._generation
+            self._generation += 1
+            self._arrived = 0
+            self._event = Event(self.env)
+            ev.succeed(gen, priority=URGENT)
+        return ev
+
+
+__all__ = ["Barrier", "Resource", "Store"]

@@ -1,0 +1,39 @@
+"""Synchronization-model zoo: the paper's baselines.
+
+- :class:`BSP` — bulk synchronous parallel (global barrier; incast).
+- :class:`ASP` — asynchronous parallel (independent push/pull; staleness).
+- :class:`SSP` — stale synchronous parallel (bounded iteration gap).
+- :class:`R2SP` — round-robin synchronization (serialized transfers that
+  fully utilise the PS's duplex link; INFOCOM'19 baseline the paper
+  compares against).
+- :class:`SyncSwitch` — BSP early, ASP late (§2.2.1 related work, built as
+  an extension/ablation).
+
+All share the :class:`~repro.sync.base.SyncModel` worker-loop skeleton; OSP
+itself lives in :mod:`repro.core.osp` (it is the paper's contribution, not
+a baseline).
+"""
+
+from repro.sync.base import SyncModel
+from repro.sync.bsp import BSP
+from repro.sync.asp import ASP
+from repro.sync.ssp import SSP
+from repro.sync.r2sp import R2SP
+from repro.sync.sync_switch import SyncSwitch
+from repro.sync.multips import ShardedBSP
+from repro.sync.dssp import DSSP
+from repro.sync.compressed import CompressedBSP
+from repro.sync.wfbp import WFBP
+
+__all__ = [
+    "ASP",
+    "BSP",
+    "CompressedBSP",
+    "DSSP",
+    "R2SP",
+    "SSP",
+    "ShardedBSP",
+    "SyncModel",
+    "SyncSwitch",
+    "WFBP",
+]

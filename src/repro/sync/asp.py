@@ -1,0 +1,28 @@
+"""ASP — Asynchronous Parallel (paper §2.1.2, Fig. 2).
+
+Each worker independently pushes its gradients, the PS applies them
+immediately (scaled by the worker's data weight), and the worker pulls the
+current global parameters. No barrier: stragglers never block others, but
+every worker trains on parameters that other workers may have moved since
+— the staleness that costs ASP final accuracy (Fig. 6b).
+"""
+
+from __future__ import annotations
+
+from repro.sync.base import SyncModel
+
+
+class ASP(SyncModel):
+    """Classic PS-based asynchronous parallel."""
+
+    name = "asp"
+
+    def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
+        nbytes = ctx.engine.model_bytes
+        yield ctx.transfer_to_ps(worker, nbytes, tag=("asp-push", worker, iteration))
+        ctx.ps.apply_immediate(worker, grads)
+        yield ctx.transfer_from_ps(worker, nbytes, tag=("asp-pull", worker, iteration))
+        ctx.engine.sync_replica(worker, ctx.ps)
+
+
+__all__ = ["ASP"]

@@ -1,0 +1,104 @@
+"""SyncModel base: the shared per-worker training loop skeleton.
+
+Each iteration: (optional pre-compute wait) → compute → synchronize →
+record. Subclasses implement :meth:`synchronize` (and optionally
+:meth:`before_compute`, :meth:`extra_compute_time`, :meth:`setup`,
+:meth:`on_epoch_end`). All of these run inside simcore processes — the
+generators may ``yield`` events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster.context import TrainerContext
+
+from typing import Optional
+
+
+
+class SyncModel:
+    """Base synchronization model (see module docstring)."""
+
+    #: Human-readable name used in results and benchmark tables.
+    name = "abstract"
+
+    def setup(self, ctx: TrainerContext) -> None:
+        """One-time initialisation before worker processes start."""
+        ctx.epoch_end_hooks.append(
+            lambda epoch, loss, metric: self.on_epoch_end(ctx, epoch, loss, metric)
+        )
+
+    def on_epoch_end(
+        self, ctx: TrainerContext, epoch: int, train_loss: float, metric: float
+    ) -> None:
+        """Called once per finished epoch (all workers done, post-eval)."""
+
+    def extra_compute_time(self, ctx: TrainerContext, worker: int) -> float:
+        """Additional per-iteration compute charged to this worker
+        (co-located PS duties, §4.4)."""
+        return 0.0
+
+    def before_compute(self, ctx: TrainerContext, worker: int, iteration: int):
+        """Generator hook before an iteration's compute (SSP waits here)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def synchronize(
+        self,
+        ctx: TrainerContext,
+        worker: int,
+        epoch: int,
+        iteration: int,
+        grads,
+        loss: float,
+    ):
+        """Generator: perform this model's synchronization for one
+        iteration. Virtual time spent here is recorded as BST."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- the shared loop -----------------------------------------------------
+    def worker_process(self, ctx: TrainerContext, worker: int):
+        """The per-worker simcore process driving training."""
+        ipe = ctx.iterations_per_epoch
+        for epoch in range(ctx.plan.n_epochs):
+            if ctx.should_fail(worker, epoch):
+                ctx.retire_worker(worker)
+                return
+            if ctx.skip_epoch(epoch):
+                break
+            for batch in range(ipe):
+                iteration = epoch * ipe + batch
+                yield from self.before_compute(ctx, worker, iteration)
+                grads, loss, samples, t_c, t_start = yield from ctx.compute(
+                    worker,
+                    epoch,
+                    batch,
+                    extra_time=self.extra_compute_time(ctx, worker),
+                )
+                sync_start = ctx.env.now
+                yield from self.synchronize(
+                    ctx, worker, epoch, iteration, grads, loss
+                )
+                ctx.record_iteration(
+                    worker,
+                    iteration,
+                    t_start,
+                    t_c,
+                    ctx.env.now - sync_start,
+                    loss,
+                    samples,
+                )
+            ctx.epoch_done(worker, epoch)
+        yield from self.finalize(ctx, worker)
+
+    def finalize(self, ctx: TrainerContext, worker: int):
+        """Generator hook after a worker's last iteration (drain in-flight
+        background work, e.g. OSP's final ICS)."""
+        return
+        yield  # pragma: no cover
+
+
+__all__ = ["SyncModel"]

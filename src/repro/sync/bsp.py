@@ -1,0 +1,39 @@
+"""BSP — Bulk Synchronous Parallel (paper §2.1.2, Fig. 1).
+
+All workers push their full gradients simultaneously (incast on the PS
+downlink), the PS applies the weighted average once per round, then all
+workers pull the full updated parameters simultaneously (incast on the PS
+uplink). A global barrier makes every iteration cost the slowest worker's
+time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster.context import TrainerContext
+
+from repro.sync.base import SyncModel
+
+
+class BSP(SyncModel):
+    """Classic PS-based bulk synchronous parallel."""
+
+    name = "bsp"
+
+    def setup(self, ctx: TrainerContext) -> None:
+        super().setup(ctx)
+        self._barrier = ctx.barrier()
+
+    def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
+        nbytes = ctx.engine.model_bytes
+        yield ctx.transfer_to_ps(worker, nbytes, tag=("bsp-push", worker, iteration))
+        if ctx.ps.accumulate(f"bsp:{iteration}", worker, grads) == ctx.spec.n_workers:
+            ctx.ps.apply_average(f"bsp:{iteration}")
+        yield self._barrier.wait()
+        yield ctx.transfer_from_ps(worker, nbytes, tag=("bsp-pull", worker, iteration))
+        ctx.engine.sync_replica(worker, ctx.ps)
+
+
+__all__ = ["BSP"]

@@ -1,0 +1,78 @@
+"""Sharded synchronization across multiple parameter servers (paper §6.1).
+
+The paper proposes (as the scaling remedy, BytePS-style) sharding the
+model across several PSes so each PS aggregates one layer partition for
+all workers, dividing the incast per PS by the shard ratio. §6.1 leaves
+the orchestration as future work; this module executes it in simulation:
+
+* :func:`repro.core.groups.plan_sync_groups` balances layers across PSes
+  (greedy LPT);
+* :class:`ShardedBSP` pushes/pulls each shard to/from its PS concurrently
+  with a global barrier per iteration — BSP semantics, sharded transport.
+
+Aggregation math stays on one logical :class:`ParameterServer` (numeric
+correctness is placement-independent); only the *transport* is sharded,
+which is what the §6.1 claim is about.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster.context import TrainerContext
+
+from repro.core.groups import SyncGroupPlan, plan_sync_groups
+from repro.sync.base import SyncModel
+
+
+class ShardedBSP(SyncModel):
+    """BSP with the model sharded across ``spec.n_ps`` parameter servers."""
+
+    name = "sharded-bsp"
+
+    def setup(self, ctx: TrainerContext) -> None:
+        super().setup(ctx)
+        self._barrier = ctx.barrier()
+        self.plan: SyncGroupPlan = plan_sync_groups(
+            ctx.engine.layer_bytes, ctx.spec.n_ps
+        )
+        self.name = f"sharded-bsp-{ctx.spec.n_ps}ps"
+        # Pre-compute per-PS shard byte sizes.
+        self._shard_bytes = list(self.plan.shard_bytes)
+        # Parameter-name partition for numeric mode.
+        self._shard_params: list[tuple[str, ...]] = []
+        for ps in range(ctx.spec.n_ps):
+            layers = [l for l, p in self.plan.assignment.items() if p == ps]
+            self._shard_params.append(ctx.engine.splitter.params_of(layers))
+
+    def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
+        n_ps = ctx.spec.n_ps
+        # Push all shards concurrently, one flow per PS.
+        pushes = [
+            ctx.transfer_to_ps(
+                worker,
+                self._shard_bytes[ps],
+                tag=("sbsp-push", worker, iteration, ps),
+                ps_index=ps,
+            )
+            for ps in range(n_ps)
+        ]
+        yield ctx.env.all_of(pushes)
+        if ctx.ps.accumulate(f"sbsp:{iteration}", worker, grads) == ctx.spec.n_workers:
+            ctx.ps.apply_average(f"sbsp:{iteration}")
+        yield self._barrier.wait()
+        pulls = [
+            ctx.transfer_from_ps(
+                worker,
+                self._shard_bytes[ps],
+                tag=("sbsp-pull", worker, iteration, ps),
+                ps_index=ps,
+            )
+            for ps in range(n_ps)
+        ]
+        yield ctx.env.all_of(pulls)
+        ctx.engine.sync_replica(worker, ctx.ps)
+
+
+__all__ = ["ShardedBSP"]

@@ -1,0 +1,53 @@
+"""SSP — Stale Synchronous Parallel (Ho et al., paper ref [20]).
+
+ASP with a bound: the fastest worker may run at most ``staleness``
+iterations ahead of the slowest. Workers exceeding the bound block before
+their next compute until the stragglers catch up.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster.context import TrainerContext
+
+import numpy as np
+
+from repro.simcore.events import Event
+from repro.sync.asp import ASP
+
+
+class SSP(ASP):
+    """Staleness-bounded asynchronous parallel."""
+
+    name = "ssp"
+
+    def __init__(self, staleness: int = 3) -> None:
+        if staleness < 0:
+            raise ValueError(f"staleness must be >= 0, got {staleness}")
+        self.staleness = staleness
+
+    def setup(self, ctx: TrainerContext) -> None:
+        super().setup(ctx)
+        self._progress = np.zeros(ctx.spec.n_workers, dtype=np.int64)
+        self._progress_event: Event = ctx.env.event()
+
+    def before_compute(self, ctx, worker, iteration):
+        while iteration - int(self._progress.min()) > self.staleness:
+            # Wait for any worker to complete an iteration, then re-check.
+            ev = self._progress_event
+            if ev.triggered:
+                self._progress_event = ctx.env.event()
+                continue
+            yield ev
+
+    def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
+        yield from super().synchronize(ctx, worker, epoch, iteration, grads, loss)
+        self._progress[worker] = iteration + 1
+        if not self._progress_event.triggered:
+            old, self._progress_event = self._progress_event, ctx.env.event()
+            old.succeed()
+
+
+__all__ = ["SSP"]

@@ -1,0 +1,73 @@
+"""Property-based gradient checks on random composite expressions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, grad_check
+
+
+def _small_arrays(max_side=3):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=max_side),
+        elements=st.floats(min_value=-2.0, max_value=2.0, width=64),
+    )
+
+
+@given(_small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_property_polynomial_grads(arr):
+    x = Tensor(arr, requires_grad=True)
+    grad_check(lambda a: ((a * a) * 0.5 + a * 3.0 - 1.0).sum(), [x])
+
+
+@given(_small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_property_tanh_chain(arr):
+    x = Tensor(arr, requires_grad=True)
+    grad_check(lambda a: (a.tanh() * a.sigmoid()).sum(), [x])
+
+
+@given(_small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_property_exp_normalized(arr):
+    x = Tensor(arr, requires_grad=True)
+    grad_check(lambda a: (a.exp() / (a.exp().sum() + 1.0)).sum(), [x])
+
+
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_matmul_grads(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(n, k)), requires_grad=True)
+    b = Tensor(rng.normal(size=(k, m)), requires_grad=True)
+    grad_check(lambda x, y: ((x @ y) ** 2).sum(), [a, b])
+
+
+@given(_small_arrays())
+@settings(max_examples=30, deadline=None)
+def test_property_mean_equals_scaled_sum_grad(arr):
+    x1 = Tensor(arr.copy(), requires_grad=True)
+    x2 = Tensor(arr.copy(), requires_grad=True)
+    x1.mean().backward()
+    (x2.sum() * (1.0 / arr.size)).backward()
+    assert np.allclose(x1.grad, x2.grad)
+
+
+@given(_small_arrays(), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_property_broadcast_grad_shapes(arr, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(arr, requires_grad=True)
+    bias = Tensor(rng.normal(size=(1,)), requires_grad=True)
+    ((x + bias) * 2.0).sum().backward()
+    assert x.grad.shape == x.shape
+    assert bias.grad.shape == bias.shape
+    assert np.allclose(bias.grad, 2.0 * arr.size)

@@ -1,0 +1,98 @@
+"""Tests for the CompressedBSP sync model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, DistributedTrainer, NumericEngine, TimingEngine, TrainingPlan
+from repro.compression import TopK, Uniform8Bit
+from repro.data import make_image_classification, train_test_split
+from repro.hardware import NoJitter
+from repro.nn.models import MLP, get_card
+from repro.nn.models.registry import ModelCard
+from repro.sync import BSP, CompressedBSP
+
+CARD = ModelCard(
+    name="comp-mlp",
+    family="resnet",
+    dataset="synthetic",
+    task="classification",
+    paper_params=1_000_000,
+    paper_flops_per_sample=1e8,
+    paper_layers=4,
+    batch_size=16,
+    metric="top1",
+    mini_factory=lambda seed: MLP([3 * 4 * 4, 16, 3], seed=seed),
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    ds = make_image_classification(240, n_classes=3, image_size=4, seed=0)
+    return train_test_split(ds, test_fraction=0.25, seed=0)
+
+
+def run_numeric(sync, data, epochs=2):
+    train, test = data
+    spec = ClusterSpec(n_workers=2, jitter=NoJitter())
+    plan = TrainingPlan(n_epochs=epochs, lr=0.1, momentum=0.9)
+    engine = NumericEngine(CARD, train, test, spec, batch_size=10, seed=0)
+    trainer = DistributedTrainer(spec, plan, engine, sync)
+    res = trainer.run()
+    return trainer, res
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CompressedBSP(TopK(0.5), nominal_ratio=0.0)
+
+
+def test_lossless_compressor_matches_plain_bsp(data):
+    """Top-K at ratio 1.0 is lossless: final params equal plain BSP's."""
+    t_plain, _ = run_numeric(BSP(), data)
+    t_comp, _ = run_numeric(CompressedBSP(TopK(1.0)), data)
+    a, b = t_plain.ps.snapshot(), t_comp.ps.snapshot()
+    for name in a:
+        np.testing.assert_allclose(a[name], b[name], atol=1e-12)
+
+
+def test_push_bytes_shrink_with_compression(data):
+    trainer, _ = run_numeric(CompressedBSP(TopK(0.1)), data)
+    pushes = [
+        r.size
+        for r in trainer.network.records
+        if isinstance(r.tag, tuple) and r.tag[0] == "cbsp-push"
+    ]
+    pulls = [
+        r.size
+        for r in trainer.network.records
+        if isinstance(r.tag, tuple) and r.tag[0] == "cbsp-pull"
+    ]
+    assert pushes and pulls
+    # Top-K 10% costs 2x per kept value (index+value) => ~20% of dense.
+    assert max(pushes) < 0.3 * min(pulls)
+
+
+def test_timing_mode_uses_nominal_ratio():
+    spec = ClusterSpec(n_workers=2, jitter=NoJitter())
+    plan = TrainingPlan(n_epochs=1, iterations_per_epoch=2)
+    engine = TimingEngine(get_card("resnet50-cifar10"), spec, total_iterations=2)
+    sync = CompressedBSP(TopK(0.1), nominal_ratio=0.25)
+    trainer = DistributedTrainer(spec, plan, engine, sync)
+    trainer.run()
+    pushes = [
+        r.size
+        for r in trainer.network.records
+        if isinstance(r.tag, tuple) and r.tag[0] == "cbsp-push"
+    ]
+    assert all(
+        p == pytest.approx(0.25 * engine.model_bytes, rel=1e-6) for p in pushes
+    )
+
+
+def test_quantizer_variant_trains(data):
+    _tr, res = run_numeric(CompressedBSP(Uniform8Bit(), nominal_ratio=0.25), data, epochs=3)
+    assert res.best_metric > 0.5
+
+
+def test_label_in_name():
+    assert CompressedBSP(TopK(0.1), label="x").name == "compressed-bsp-x"

@@ -1,0 +1,82 @@
+"""Tests for multi-rack topologies and cross-rack training."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, DistributedTrainer, TimingEngine, TrainingPlan
+from repro.hardware import NoJitter
+from repro.netsim import LinkSpec, make_multirack_topology
+from repro.nn.models import get_card
+from repro.sync import BSP
+from repro.core import OSP
+
+
+def test_multirack_validation():
+    with pytest.raises(ValueError):
+        make_multirack_topology(4, 0)
+    with pytest.raises(ValueError):
+        make_multirack_topology(1, 2)
+    with pytest.raises(ValueError):
+        make_multirack_topology(4, 2, oversubscription=0.5)
+
+
+def test_same_rack_route_avoids_core():
+    topo = make_multirack_topology(9, 2)
+    # hosts 0 and 2 both sit in rack 0
+    names = [l.name for l in topo.route(0, 2)]
+    assert names == ["0->tor0", "tor0->2"]
+
+
+def test_cross_rack_route_crosses_core():
+    topo = make_multirack_topology(9, 2)
+    # host 0 (rack 0) -> host 1 (rack 1)
+    names = [l.name for l in topo.route(0, 1)]
+    assert names == ["0->tor0", "tor0->core", "core->tor1", "tor1->1"]
+
+
+def test_core_links_are_oversubscribed():
+    spec = LinkSpec(bandwidth=100.0)
+    topo = make_multirack_topology(8, 2, default_spec=spec, oversubscription=4.0)
+    core_links = {l.name: l for l in topo.links if "core" in l.name}
+    # 4 hosts per rack, oversub 4 -> core uplink = 100 * 4 / 4 = 100
+    assert core_links["tor0->core"].bandwidth == pytest.approx(100.0)
+
+
+def run_cross_rack(sync, oversubscription, n_workers=8, ipe=4):
+    spec = ClusterSpec(n_workers=n_workers, jitter=NoJitter())
+    topo = make_multirack_topology(
+        spec.n_nodes, 2, default_spec=spec.link, oversubscription=oversubscription
+    )
+    plan = TrainingPlan(n_epochs=1, iterations_per_epoch=ipe)
+    engine = TimingEngine(get_card("resnet50-cifar10"), spec, total_iterations=ipe)
+    return DistributedTrainer(spec, plan, engine, sync, topology=topo).run()
+
+
+def test_cross_rack_training_runs():
+    res = run_cross_rack(BSP(), oversubscription=4.0)
+    assert res.recorder.total_iterations == 32
+
+
+def test_oversubscription_slows_bsp():
+    """The PS sits in rack 0; rack-1 workers cross the oversubscribed core,
+    so once the core's fair share drops below the PS-link share (at 9 nodes
+    that crossover is oversubscription ≈ 8) BSP's sync time rises."""
+    mild = run_cross_rack(BSP(), oversubscription=1.0)
+    harsh = run_cross_rack(BSP(), oversubscription=32.0)
+    assert harsh.mean_bst > 1.5 * mild.mean_bst
+
+
+def test_osp_still_beats_bsp_across_racks():
+    epochs, ipe = 10, 6
+    def run(sync):
+        spec = ClusterSpec(n_workers=8, jitter=NoJitter())
+        topo = make_multirack_topology(
+            spec.n_nodes, 2, default_spec=spec.link, oversubscription=4.0
+        )
+        plan = TrainingPlan(n_epochs=epochs, iterations_per_epoch=ipe)
+        engine = TimingEngine(
+            get_card("resnet50-cifar10"), spec, total_iterations=epochs * ipe
+        )
+        engine.tau = epochs * ipe / 6
+        return DistributedTrainer(spec, plan, engine, sync, topology=topo).run()
+
+    assert run(OSP()).throughput > 1.2 * run(BSP()).throughput

@@ -1,0 +1,71 @@
+"""Tests for the WFBP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, DistributedTrainer, NumericEngine, TimingEngine, TrainingPlan
+from repro.data import make_image_classification, train_test_split
+from repro.hardware import NoJitter
+from repro.nn.models import MLP, get_card
+from repro.nn.models.registry import ModelCard
+from repro.sync import BSP, WFBP
+
+
+def run_timing(sync, epochs=2, ipe=4, workers=8):
+    spec = ClusterSpec(n_workers=workers, jitter=NoJitter())
+    plan = TrainingPlan(n_epochs=epochs, iterations_per_epoch=ipe)
+    engine = TimingEngine(get_card("resnet50-cifar10"), spec, total_iterations=epochs * ipe)
+    return DistributedTrainer(spec, plan, engine, sync).run()
+
+
+def test_wfbp_runs_all_iterations():
+    res = run_timing(WFBP())
+    assert res.recorder.total_iterations == 2 * 4 * 8
+
+
+def test_wfbp_bst_between_zero_and_bsp():
+    res_wfbp = run_timing(WFBP())
+    res_bsp = run_timing(BSP())
+    assert 0 < res_wfbp.mean_bst < res_bsp.mean_bst
+
+
+def test_wfbp_hides_roughly_the_backward_window():
+    """Exposed push bytes shrink by ~T_bwd x (b/N) worth of traffic."""
+    res_wfbp = run_timing(WFBP())
+    res_bsp = run_timing(BSP())
+    spec = ClusterSpec(n_workers=8, jitter=NoJitter())
+    engine = TimingEngine(get_card("resnet50-cifar10"), spec, total_iterations=8)
+    t_bwd = engine.base_compute_time(spec) * 2 / 3
+    # BSP push phase ~ N*S/b; WFBP saves up to t_bwd of it.
+    saved = res_bsp.mean_bst - res_wfbp.mean_bst
+    assert saved == pytest.approx(t_bwd, rel=0.35)
+
+
+def test_wfbp_numeric_matches_bsp_parameters():
+    """WFBP changes only transfer scheduling, not update math."""
+    card = ModelCard(
+        name="wfbp-mlp",
+        family="resnet",
+        dataset="synthetic",
+        task="classification",
+        paper_params=1_000_000,
+        paper_flops_per_sample=1e8,
+        paper_layers=4,
+        batch_size=16,
+        metric="top1",
+        mini_factory=lambda seed: MLP([3 * 4 * 4, 16, 3], seed=seed),
+    )
+    ds = make_image_classification(160, n_classes=3, image_size=4, seed=0)
+    train, test = train_test_split(ds, 0.25, seed=0)
+
+    def final(sync):
+        spec = ClusterSpec(n_workers=2, jitter=NoJitter())
+        plan = TrainingPlan(n_epochs=2, lr=0.1, momentum=0.9)
+        engine = NumericEngine(card, train, test, spec, batch_size=10, seed=0)
+        trainer = DistributedTrainer(spec, plan, engine, sync)
+        trainer.run()
+        return trainer.ps.snapshot()
+
+    a, b = final(BSP()), final(WFBP())
+    for name in a:
+        np.testing.assert_allclose(a[name], b[name], atol=1e-12)

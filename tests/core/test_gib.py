@@ -1,0 +1,142 @@
+"""Unit + property tests for the Gradient Importance Bitmap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gib import GIB
+
+
+def test_gib_basic_queries():
+    gib = GIB(("a", "b", "c"), (True, False, True))
+    assert gib.is_important("a")
+    assert not gib.is_important("b")
+    assert gib.important_layers == ("a", "c")
+    assert gib.unimportant_layers == ("b",)
+    assert gib.n_important == 2
+
+
+def test_gib_unknown_layer():
+    gib = GIB(("a",), (True,))
+    with pytest.raises(KeyError):
+        gib.is_important("zzz")
+
+
+def test_gib_validation():
+    with pytest.raises(ValueError):
+        GIB(("a", "b"), (True,))
+    with pytest.raises(ValueError):
+        GIB(("a", "a"), (True, False))
+
+
+def test_gib_degenerate_constructors():
+    layers = ("x", "y", "z")
+    assert GIB.all_important(layers).n_important == 3
+    assert GIB.all_unimportant(layers).n_important == 0
+
+
+def test_gib_wire_bytes_under_1kb_for_paper_models():
+    """Paper §4.1.2: GIB < 1KB for models under 1K layers."""
+    layers = tuple(f"l{i}" for i in range(999))
+    assert GIB.all_important(layers).wire_bytes() < 1024
+
+
+def test_gib_pack_unpack_roundtrip():
+    layers = tuple(f"l{i}" for i in range(13))
+    rng = np.random.default_rng(0)
+    bits = tuple(bool(b) for b in rng.integers(0, 2, size=13))
+    gib = GIB(layers, bits)
+    assert GIB.unpack(gib.pack(), layers) == gib
+
+
+def test_gib_unpack_short_payload_raises():
+    with pytest.raises(ValueError):
+        GIB.unpack(b"", ("a", "b"))
+
+
+def test_from_importance_zero_budget_all_important():
+    gib = GIB.from_importance({"a": 1.0, "b": 2.0}, {"a": 10, "b": 10}, 0.0)
+    assert gib.n_important == 2
+
+
+def test_from_importance_defers_lowest_density_first():
+    importance = {"big-dull": 1.0, "small-sharp": 1.0}
+    sizes = {"big-dull": 100, "small-sharp": 1}
+    gib = GIB.from_importance(importance, sizes, budget_bytes=100)
+    # big-dull density 0.01 << small-sharp density 1.0
+    assert not gib.is_important("big-dull")
+    assert gib.is_important("small-sharp")
+
+
+def test_from_importance_skips_oversized_layer():
+    """A layer too big for the remaining budget is skipped, not a stopping
+    point (smaller layers behind it still defer)."""
+    importance = {"a": 0.1, "b": 0.2, "c": 0.3}
+    sizes = {"a": 80, "b": 500, "c": 10}
+    gib = GIB.from_importance(importance, sizes, budget_bytes=100)
+    assert not gib.is_important("a")
+    assert gib.is_important("b")  # 500 > 100-80
+    assert not gib.is_important("c")
+
+
+def test_from_importance_vgg_fc6_scenario():
+    """The exact pathology from the reproduction: a huge low-importance
+    classifier layer must be deferred even when many small layers have
+    lower raw importance (density ordering, see gib.py docstring)."""
+    importance = {"fc6": 0.3}
+    sizes = {"fc6": 370}
+    for i in range(12):
+        importance[f"conv{i}"] = 0.15
+        sizes[f"conv{i}"] = 10
+    gib = GIB.from_importance(importance, sizes, budget_bytes=430)
+    assert not gib.is_important("fc6")
+
+
+def test_from_importance_mismatched_keys():
+    with pytest.raises(ValueError):
+        GIB.from_importance({"a": 1.0}, {"b": 1}, 10)
+
+
+def test_from_importance_negative_budget():
+    with pytest.raises(ValueError):
+        GIB.from_importance({"a": 1.0}, {"a": 1}, -1)
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_from_importance_respects_budget(n_layers, seed, budget_frac):
+    rng = np.random.default_rng(seed)
+    layers = [f"l{i}" for i in range(n_layers)]
+    importance = {l: float(rng.uniform(0.01, 10)) for l in layers}
+    sizes = {l: int(rng.integers(1, 1000)) for l in layers}
+    total = sum(sizes.values())
+    budget = budget_frac * total
+    gib = GIB.from_importance(importance, sizes, budget)
+    deferred = sum(sizes[l] for l in gib.unimportant_layers)
+    assert deferred <= budget + 1e-9
+
+
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_property_full_budget_defers_everything(n_layers, seed):
+    rng = np.random.default_rng(seed)
+    layers = [f"l{i}" for i in range(n_layers)]
+    importance = {l: float(rng.uniform(0.01, 10)) for l in layers}
+    sizes = {l: int(rng.integers(1, 1000)) for l in layers}
+    gib = GIB.from_importance(importance, sizes, sum(sizes.values()))
+    assert gib.n_important == 0
+
+
+@given(st.integers(min_value=2, max_value=16), st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_property_pack_roundtrip(n_layers, seed):
+    rng = np.random.default_rng(seed)
+    layers = tuple(f"l{i}" for i in range(n_layers))
+    bits = tuple(bool(b) for b in rng.integers(0, 2, size=n_layers))
+    gib = GIB(layers, bits)
+    assert GIB.unpack(gib.pack(), layers).important == bits

@@ -1,0 +1,75 @@
+"""Unit tests for multi-PS synchronization group planning (§6.1)."""
+
+import pytest
+
+from repro.core.groups import SyncGroupPlan, plan_sync_groups
+
+
+def sizes(n=10, base=100):
+    return {f"l{i}": base * (i + 1) for i in range(n)}
+
+
+def test_plan_assigns_every_layer_once():
+    plan = plan_sync_groups(sizes(), n_ps=3)
+    assert set(plan.assignment) == set(sizes())
+    assert all(0 <= ps < 3 for ps in plan.assignment.values())
+
+
+def test_plan_single_ps_takes_all():
+    s = sizes(5)
+    plan = plan_sync_groups(s, n_ps=1)
+    assert plan.max_shard_bytes == sum(s.values())
+    assert plan.balance == pytest.approx(1.0)
+
+
+def test_plan_shard_bytes_consistent_with_assignment():
+    s = sizes(8)
+    plan = plan_sync_groups(s, n_ps=4)
+    recomputed = [0.0] * 4
+    for layer, ps in plan.assignment.items():
+        recomputed[ps] += s[layer]
+    assert list(plan.shard_bytes) == recomputed
+
+
+def test_plan_lpt_is_well_balanced():
+    s = {f"l{i}": 10 for i in range(100)}
+    plan = plan_sync_groups(s, n_ps=4)
+    assert plan.balance < 1.05
+
+
+def test_plan_more_ps_reduces_max_shard():
+    s = sizes(20)
+    m1 = plan_sync_groups(s, 1).max_shard_bytes
+    m2 = plan_sync_groups(s, 2).max_shard_bytes
+    m4 = plan_sync_groups(s, 4).max_shard_bytes
+    assert m1 > m2 > m4
+
+
+def test_predicted_bst_scaling_claim():
+    """§6.1: multiple PSes divide the per-iteration sync time roughly by
+    the PS count (for balanced shards)."""
+    s = {f"l{i}": 1000 for i in range(64)}
+    b1 = plan_sync_groups(s, 1).predicted_bst(8, 1e9)
+    b4 = plan_sync_groups(s, 4).predicted_bst(8, 1e9)
+    assert b4 == pytest.approx(b1 / 4, rel=0.05)
+
+
+def test_predicted_bst_formula():
+    plan = SyncGroupPlan(n_ps=1, assignment={"l": 0}, shard_bytes=(100.0,))
+    assert plan.predicted_bst(4, 100.0) == pytest.approx(2 * 4 * 100 / 100)
+    with pytest.raises(ValueError):
+        plan.predicted_bst(0, 100.0)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        plan_sync_groups(sizes(), 0)
+    with pytest.raises(ValueError):
+        plan_sync_groups({}, 2)
+
+
+def test_plan_deterministic():
+    s = sizes(15)
+    a = plan_sync_groups(s, 3)
+    b = plan_sync_groups(s, 3)
+    assert a.assignment == b.assignment

@@ -1,0 +1,172 @@
+"""Unit tests for LGP correction (Eq. 6-7), EMA-LGP, and the splitter."""
+
+import numpy as np
+import pytest
+
+from repro.core.gib import GIB
+from repro.core.lgp import EMALGPCorrector, LGPCorrector
+from repro.core.splitter import GradientSplitter
+from repro.nn.models import MLP
+
+
+# ------------------------------------------------------------------ LGP
+def make_params():
+    return {
+        "imp.w": np.array([1.0, 1.0]),
+        "unimp.w": np.array([2.0, 2.0]),
+    }
+
+
+def test_lgp_apply_rs_adopts_global_and_predicts_locally():
+    params = make_params()
+    lgp = LGPCorrector(params)
+    lgp.apply_rs(
+        important_global={"imp.w": np.array([5.0, 6.0])},
+        unimportant_local_grads={"unimp.w": np.array([1.0, -1.0])},
+        lr=0.5,
+    )
+    assert np.allclose(params["imp.w"], [5.0, 6.0])  # Eq 6 term 1
+    assert np.allclose(params["unimp.w"], [1.5, 2.5])  # 2 - 0.5*g (Eq 6 term 2)
+
+
+def test_lgp_apply_ics_overwrites_prediction():
+    params = make_params()
+    lgp = LGPCorrector(params)
+    lgp.apply_rs({}, {"unimp.w": np.array([1.0, 1.0])}, lr=0.1)
+    lgp.apply_ics({"unimp.w": np.array([7.0, 8.0])})
+    assert np.allclose(params["unimp.w"], [7.0, 8.0])  # Eq 7
+
+
+def test_lgp_eq7_equals_subtract_local_add_global():
+    """Overwrite == P - lr*g_local + lr*g_global when bases align (Eq 7)."""
+    base = np.array([2.0, 2.0])
+    g_local = np.array([1.0, -1.0])
+    g_global = np.array([0.5, 0.5])
+    lr = 0.1
+    params = {"u.w": base.copy()}
+    lgp = LGPCorrector(params)
+    lgp.apply_rs({}, {"u.w": g_local}, lr=lr)
+    global_value = base - lr * g_global  # what the PS computed from base
+    lgp.apply_ics({"u.w": global_value})
+    expected = base - lr * g_local - lr * (g_global - g_local)
+    assert np.allclose(params["u.w"], expected)
+
+
+def test_lgp_unknown_param_raises():
+    lgp = LGPCorrector(make_params())
+    with pytest.raises(KeyError):
+        lgp.apply_ics({"ghost": np.zeros(2)})
+
+
+def test_lgp_bad_lr():
+    lgp = LGPCorrector(make_params())
+    with pytest.raises(ValueError):
+        lgp.apply_rs({}, {}, lr=0.0)
+
+
+def test_lgp_mutates_arrays_in_place():
+    params = make_params()
+    view = params["imp.w"]
+    LGPCorrector(params).apply_rs({"imp.w": np.array([9.0, 9.0])}, {}, lr=0.1)
+    assert np.allclose(view, [9.0, 9.0])
+
+
+# ---------------------------------------------------------------- EMA-LGP
+def test_ema_lgp_first_prediction_is_local():
+    params = make_params()
+    ema = EMALGPCorrector(params, beta=0.5, lr_hint=0.1)
+    ema.apply_rs({}, {"unimp.w": np.array([1.0, 1.0])}, lr=0.1)
+    assert np.allclose(params["unimp.w"], [1.9, 1.9])
+
+
+def test_ema_lgp_learns_global_gradient():
+    params = {"u.w": np.array([0.0])}
+    ema = EMALGPCorrector(params, beta=1.0, decay=0.0, lr_hint=0.1)
+    # Round 1: predict with local grad 0; global applied grad was 2.0.
+    ema.apply_rs({}, {"u.w": np.array([0.0])}, lr=0.1)
+    ema.apply_ics({"u.w": np.array([-0.2])})  # implies global grad 2.0
+    # Round 2: beta=1 -> prediction is pure EMA = 2.0
+    ema.apply_rs({}, {"u.w": np.array([0.0])}, lr=0.1)
+    assert np.allclose(params["u.w"], [-0.2 - 0.1 * 2.0])
+
+
+def test_ema_lgp_memory_overhead_tracked():
+    params = make_params()
+    ema = EMALGPCorrector(params, lr_hint=0.1)
+    assert ema.memory_overhead_bytes == 0
+    ema.apply_rs({}, {"unimp.w": np.zeros(2)}, lr=0.1)
+    ema.apply_ics({"unimp.w": np.array([1.0, 1.0])})
+    assert ema.memory_overhead_bytes == 16  # one float64[2]
+
+
+def test_ema_lgp_validation():
+    with pytest.raises(ValueError):
+        EMALGPCorrector(make_params(), beta=2.0)
+    with pytest.raises(ValueError):
+        EMALGPCorrector(make_params(), decay=1.0)
+
+
+# ---------------------------------------------------------------- splitter
+def test_splitter_partitions_by_gib():
+    sp = GradientSplitter({"a": ["a.w", "a.b"], "b": ["b.w"]})
+    gib = GIB(("a", "b"), (True, False))
+    grads = {"a.w": np.ones(1), "a.b": np.ones(1), "b.w": np.ones(1)}
+    imp, unimp = sp.split(grads, gib)
+    assert set(imp) == {"a.w", "a.b"}
+    assert set(unimp) == {"b.w"}
+
+
+def test_splitter_rejects_unknown_gradient():
+    sp = GradientSplitter({"a": ["a.w"]})
+    gib = GIB(("a",), (True,))
+    with pytest.raises(KeyError):
+        sp.split({"zzz": np.ones(1)}, gib)
+
+
+def test_splitter_rejects_mismatched_gib():
+    sp = GradientSplitter({"a": ["a.w"]})
+    gib = GIB(("other",), (True,))
+    with pytest.raises(ValueError):
+        sp.split({"a.w": np.ones(1)}, gib)
+
+
+def test_splitter_duplicate_param_rejected():
+    with pytest.raises(ValueError):
+        GradientSplitter({"a": ["w"], "b": ["w"]})
+
+
+def test_splitter_params_of():
+    sp = GradientSplitter({"a": ["a.w", "a.b"], "b": ["b.w"]})
+    assert sp.params_of(["b", "a"]) == ("b.w", "a.w", "a.b")
+    with pytest.raises(KeyError):
+        sp.params_of(["nope"])
+
+
+def test_splitter_layer_bytes():
+    sp = GradientSplitter({"a": ["a.w"], "b": ["b.w"]})
+    out = sp.layer_bytes({"a.w": 10, "b.w": 3}, bytes_per_param=4)
+    assert out == {"a": 40, "b": 12}
+
+
+def test_splitter_from_module_covers_all_params():
+    model = MLP([4, 8, 2], seed=0)
+    sp = GradientSplitter.from_module(model)
+    all_names = {n for n, _ in model.named_parameters()}
+    covered = {n for names in sp.layer_params.values() for n in names}
+    assert covered == all_names
+
+
+def test_splitter_from_module_layer_count_matches_leaf_layers():
+    model = MLP([4, 8, 2], seed=0)
+    sp = GradientSplitter.from_module(model)
+    assert len(sp.layers) == len(model.leaf_layers())
+
+
+def test_splitter_from_module_split_roundtrip():
+    model = MLP([4, 8, 2], seed=0)
+    sp = GradientSplitter.from_module(model)
+    gib = GIB(sp.layers, tuple(i % 2 == 0 for i in range(len(sp.layers))))
+    grads = {n: np.zeros(p.shape) for n, p in model.named_parameters()}
+    imp, unimp = sp.split(grads, gib)
+    assert set(imp) | set(unimp) == set(grads)
+    assert not (set(imp) & set(unimp))

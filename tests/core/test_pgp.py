@@ -1,0 +1,105 @@
+"""Unit tests for PGP importance (Eq. 1-4), including the paper's Taylor
+derivation validated against brute-force loss perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.core.pgp import (
+    layer_importance,
+    pgp_importance,
+    taylor_reference_importance,
+)
+
+
+def test_pgp_importance_is_sum_abs_product():
+    g = np.array([1.0, -2.0, 3.0])
+    p = np.array([0.5, 0.5, -1.0])
+    assert pgp_importance(g, p) == pytest.approx(0.5 + 1.0 + 3.0)
+
+
+def test_pgp_importance_zero_param_contributes_nothing():
+    assert pgp_importance(np.array([100.0]), np.array([0.0])) == 0.0
+
+
+def test_pgp_importance_shape_mismatch():
+    with pytest.raises(ValueError):
+        pgp_importance(np.zeros(3), np.zeros(4))
+
+
+def test_pgp_importance_nonnegative():
+    rng = np.random.default_rng(0)
+    for _ in range(10):
+        g, p = rng.normal(size=8), rng.normal(size=8)
+        assert pgp_importance(g, p) >= 0
+
+
+def test_layer_importance_groups_parameters():
+    grads = {"a.w": np.ones(2), "a.b": np.ones(1), "b.w": np.full(3, 2.0)}
+    params = {"a.w": np.full(2, 3.0), "a.b": np.zeros(1), "b.w": np.ones(3)}
+    out = layer_importance(grads, params, {"a": ["a.w", "a.b"], "b": ["b.w"]})
+    assert out["a"] == pytest.approx(6.0)
+    assert out["b"] == pytest.approx(6.0)
+
+
+def test_layer_importance_missing_grad_raises():
+    with pytest.raises(KeyError, match="no gradient"):
+        layer_importance({}, {"w": np.zeros(1)}, {"l": ["w"]})
+
+
+def test_layer_importance_missing_param_raises():
+    with pytest.raises(KeyError, match="no value"):
+        layer_importance({"w": np.zeros(1)}, {}, {"l": ["w"]})
+
+
+def test_pgp_matches_first_order_taylor_on_quadratic():
+    """For L(P) = sum(c * P^2), dL/dP_k = 2 c P_k; zeroing P_k changes L by
+    c P_k^2. PGP approximates |dL/dP_k * P_k| = 2 c P_k^2 — first-order, so
+    proportional (factor 2) to the true importance. Ordering must agree."""
+    rng = np.random.default_rng(1)
+    c = 0.7
+    values = rng.normal(size=6)
+
+    def loss(params):
+        return c * float(sum((v**2).sum() for v in params.values()))
+
+    params = {f"p{i}": np.array([values[i]]) for i in range(6)}
+    grads = {name: 2 * c * v for name, v in params.items()}
+    pgp_scores = {
+        name: pgp_importance(grads[name], params[name]) for name in params
+    }
+    true_scores = {
+        name: taylor_reference_importance(loss, params, name) for name in params
+    }
+    pgp_rank = sorted(params, key=lambda n: pgp_scores[n])
+    true_rank = sorted(params, key=lambda n: true_scores[n])
+    assert pgp_rank == true_rank
+    for name in params:
+        assert pgp_scores[name] == pytest.approx(2 * true_scores[name])
+
+
+def test_pgp_taylor_accuracy_on_smooth_nonlinear_loss():
+    """On a smooth loss, PGP ranks parameters like the exact zeroing test
+    does for small parameter values (first-order regime)."""
+    rng = np.random.default_rng(2)
+    w = rng.normal(size=5) * 0.1
+    a = rng.uniform(1, 3, size=5)
+
+    def loss(params):
+        vec = np.array([params[f"p{i}"][0] for i in range(5)])
+        return float(np.sum(a * np.tanh(vec) ** 2))
+
+    params = {f"p{i}": np.array([w[i]]) for i in range(5)}
+    # analytic gradient of a*tanh(x)^2: 2 a tanh(x) (1 - tanh^2 x)
+    grads = {
+        f"p{i}": np.array(
+            [2 * a[i] * np.tanh(w[i]) * (1 - np.tanh(w[i]) ** 2)]
+        )
+        for i in range(5)
+    }
+    pgp_rank = sorted(
+        params, key=lambda n: pgp_importance(grads[n], params[n])
+    )
+    true_rank = sorted(
+        params, key=lambda n: taylor_reference_importance(loss, params, n)
+    )
+    assert pgp_rank == true_rank

@@ -1,0 +1,43 @@
+"""Micro-scale smoke tests of the figure functions (full scale runs live
+in benchmarks/)."""
+
+import pytest
+
+from repro.harness.figures import (
+    fig1_fig2_timelines,
+    fig6a_throughput,
+    fig6d_bst,
+    fig9_bct_colocated,
+)
+
+
+def test_fig6a_rows_structure():
+    rows = fig6a_throughput(quick=True, workloads=["resnet50-cifar10"])
+    assert len(rows) == 4  # four sync models
+    names = {r[1] for r in rows}
+    assert names == {"asp", "bsp", "r2sp", "osp"}
+    for _w, _s, overall, steady in rows:
+        assert overall > 0 and steady > 0
+
+
+def test_fig6d_rows_structure():
+    rows = fig6d_bst(quick=True, workloads=["resnet50-cifar10"])
+    assert len(rows) == 4
+    for _w, _s, mean_bst, steady_bst in rows:
+        assert mean_bst > 0 and steady_bst > 0
+
+
+def test_fig9_single_workload():
+    rows = fig9_bct_colocated(quick=True, workloads=["inceptionv3-cifar100"])
+    assert len(rows) == 1
+    _w, bct_bsp, bct_osp_s, bct_osp_c, overhead = rows[0]
+    assert bct_osp_s == pytest.approx(bct_bsp, rel=0.01)
+    assert bct_osp_c > bct_bsp
+    assert overhead > 0
+
+
+def test_fig1_fig2_returns_records_and_ratio():
+    data = fig1_fig2_timelines(quick=True)
+    assert set(data["timelines"]) == {"bsp", "asp"}
+    assert data["bsp_over_asp"] > 1.0
+    assert all(len(v) > 0 for v in data["records"].values())

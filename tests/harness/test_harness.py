@@ -1,0 +1,81 @@
+"""Tests for the workload/figure harness (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OSP
+from repro.harness import (
+    EVALUATION_WORKLOADS,
+    WorkloadConfig,
+    make_numeric_dataset,
+    numeric_trainer,
+    timing_trainer,
+)
+from repro.harness.figures import (
+    fig3_comm_share,
+    motivation_gpu_comm,
+    paper_sync_models,
+)
+from repro.nn.models import get_card
+from repro.sync import BSP
+
+
+def test_evaluation_workloads_are_the_papers_five():
+    assert EVALUATION_WORKLOADS == (
+        "resnet50-cifar10",
+        "vgg16-cifar10",
+        "inceptionv3-cifar100",
+        "resnet101-imagenet",
+        "bertbase-squad",
+    )
+
+
+def test_paper_sync_models_fresh_instances():
+    a, b = paper_sync_models(), paper_sync_models()
+    assert [m.name for m in a] == ["asp", "bsp", "r2sp", "osp"]
+    assert all(x is not y for x, y in zip(a, b))
+
+
+def test_workload_config_properties():
+    cfg = WorkloadConfig("vgg16-cifar10", n_epochs=3, iterations_per_epoch=5)
+    assert cfg.card.name == "vgg16-cifar10"
+    assert cfg.total_iterations == 15
+
+
+def test_timing_trainer_builds_and_runs():
+    cfg = WorkloadConfig(
+        "resnet50-cifar10", n_workers=2, n_epochs=2, iterations_per_epoch=2
+    )
+    res = timing_trainer(cfg, BSP()).run()
+    assert res.recorder.total_iterations == 8
+
+
+def test_numeric_dataset_matches_card_task():
+    qa = make_numeric_dataset(get_card("bertbase-squad"), n_samples=60)
+    assert qa[0].task == "qa"
+    img = make_numeric_dataset(get_card("resnet50-cifar10"), n_samples=60)
+    assert img[0].task == "classification"
+    assert img[0].n_classes == 10
+    c100 = make_numeric_dataset(get_card("inceptionv3-cifar100"), n_samples=80)
+    assert c100[0].n_classes == 20
+
+
+def test_numeric_trainer_runs_all_cards_one_epoch():
+    for name in EVALUATION_WORKLOADS:
+        cfg = WorkloadConfig(name, n_workers=2, n_epochs=1, seed=0)
+        data = make_numeric_dataset(cfg.card, n_samples=120, seed=0)
+        res = numeric_trainer(cfg, OSP(), data=data, batch_size=10).run()
+        assert res.recorder.total_iterations > 0, name
+
+
+def test_fig3_rows_shape():
+    rows = fig3_comm_share(quick=True, node_counts=(1, 2))
+    assert [r[0] for r in rows] == [1, 2]
+    for _n, bct, bst, share in rows:
+        assert bct > 0 and bst > 0 and 0 < share < 1
+
+
+def test_motivation_rows():
+    rows = motivation_gpu_comm()
+    assert [r[0] for r in rows] == ["rtx2080ti", "rtx3090"]
+    assert rows[1][3] > rows[0][3]  # faster GPU, bigger comm share

@@ -1,0 +1,102 @@
+"""Tests for multi-seed statistics and BST percentiles."""
+
+import pytest
+
+from repro.harness import WorkloadConfig, timing_trainer
+from repro.harness.stats import MultiSeedResult, SeedStats, run_seeds
+from repro.metrics.recorder import IterationRecord, Recorder
+from repro.sync import BSP
+from repro.core import OSP
+
+
+def test_seedstats_aggregation():
+    s = SeedStats((1.0, 2.0, 3.0))
+    assert s.mean == pytest.approx(2.0)
+    assert s.min == 1.0 and s.max == 3.0
+    assert "±" in str(s)
+
+
+def test_run_seeds_requires_seeds():
+    with pytest.raises(ValueError):
+        run_seeds(lambda s: None, [])
+
+
+def _factory(seed):
+    cfg = WorkloadConfig(
+        "resnet50-cifar10",
+        n_workers=4,
+        n_epochs=3,
+        iterations_per_epoch=3,
+        sigma=0.3,
+        seed=seed,
+    )
+    return timing_trainer(cfg, BSP())
+
+
+def test_run_seeds_aggregates_across_seeds():
+    stats = run_seeds(_factory, seeds=[0, 1, 2])
+    assert len(stats.throughput.values) == 3
+    assert stats.throughput.mean > 0
+    # different jitter seeds -> some spread
+    assert stats.throughput.std > 0
+
+
+def test_run_seeds_same_seed_zero_variance():
+    stats = run_seeds(_factory, seeds=[5, 5])
+    assert stats.throughput.std == pytest.approx(0.0)
+
+
+def test_osp_beats_bsp_across_seeds():
+    """Seed-robustness of the headline claim (small-scale)."""
+    def factory(sync):
+        def build(seed):
+            cfg = WorkloadConfig(
+                "resnet50-cifar10",
+                n_workers=4,
+                n_epochs=10,
+                iterations_per_epoch=4,
+                sigma=0.2,
+                seed=seed,
+            )
+            return timing_trainer(cfg, sync())
+        return build
+
+    seeds = [0, 1, 2]
+    osp = run_seeds(factory(OSP), seeds)
+    bsp = run_seeds(factory(BSP), seeds)
+    assert osp.throughput.min > bsp.throughput.max
+
+
+# ----------------------------------------------------------- percentiles
+def test_bst_percentile_basic():
+    rec = Recorder()
+    for i, s in enumerate([0.1, 0.2, 0.3, 0.4]):
+        rec.record_iteration(
+            IterationRecord(
+                worker=0, iteration=i, start_time=float(i), compute_time=1.0,
+                sync_time=s, loss=1.0, samples=1,
+            )
+        )
+    assert rec.bst_percentile(0) == pytest.approx(0.1)
+    assert rec.bst_percentile(100) == pytest.approx(0.4)
+    assert rec.bst_percentile(50) == pytest.approx(0.25)
+
+
+def test_bst_percentile_validation_and_empty():
+    rec = Recorder()
+    assert rec.bst_percentile(99) == 0.0
+    with pytest.raises(ValueError):
+        rec.bst_percentile(150)
+
+
+def test_bsp_has_heavier_bst_tail_than_osp():
+    """Incast + barrier give BSP a wider p99/p50 spread than late-stage OSP."""
+    def run(sync):
+        cfg = WorkloadConfig(
+            "resnet50-cifar10", n_workers=8, n_epochs=12,
+            iterations_per_epoch=4, sigma=0.3, seed=0,
+        )
+        return timing_trainer(cfg, sync).run().recorder
+
+    bsp = run(BSP())
+    assert bsp.bst_percentile(99) > bsp.bst_percentile(50)

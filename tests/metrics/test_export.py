@@ -1,0 +1,89 @@
+"""Tests for recorder JSON export/import."""
+
+import json
+
+import pytest
+
+from repro.metrics.export import (
+    load_recorder,
+    recorder_from_dict,
+    recorder_to_dict,
+    save_recorder,
+)
+from repro.metrics.recorder import EpochRecord, IterationRecord, Recorder
+
+
+def make_recorder():
+    rec = Recorder()
+    rec.record_iteration(
+        IterationRecord(
+            worker=0, iteration=0, start_time=0.0, compute_time=1.0,
+            sync_time=0.5, loss=2.0, samples=64,
+        )
+    )
+    rec.record_epoch(
+        EpochRecord(epoch=0, time=1.5, train_loss=2.0, metric=0.4, iterations_done=1)
+    )
+    return rec
+
+
+def test_roundtrip_dict():
+    rec = make_recorder()
+    clone = recorder_from_dict(recorder_to_dict(rec))
+    assert clone.iterations == rec.iterations
+    assert clone.epochs == rec.epochs
+
+
+def test_summary_present_and_consistent():
+    d = recorder_to_dict(make_recorder())
+    assert d["summary"]["total_iterations"] == 1
+    assert d["summary"]["best_metric"] == pytest.approx(0.4)
+    assert d["summary"]["throughput"] == pytest.approx(64 / 1.5)
+
+
+def test_dict_is_json_serialisable():
+    json.dumps(recorder_to_dict(make_recorder()))
+
+
+def test_file_roundtrip(tmp_path):
+    rec = make_recorder()
+    path = tmp_path / "run.json"
+    save_recorder(rec, path)
+    loaded = load_recorder(path)
+    assert loaded.iterations == rec.iterations
+    assert loaded.throughput() == pytest.approx(rec.throughput())
+
+
+def test_empty_recorder_roundtrip(tmp_path):
+    path = tmp_path / "empty.json"
+    save_recorder(Recorder(), path)
+    loaded = load_recorder(path)
+    assert loaded.total_iterations == 0
+
+
+def test_from_dict_tolerates_missing_sections():
+    rec = recorder_from_dict({})
+    assert rec.total_iterations == 0
+
+
+def test_real_run_roundtrips(tmp_path):
+    """End-to-end: a real trainer's recorder survives the JSON roundtrip."""
+    from repro.cluster import (
+        ClusterSpec,
+        DistributedTrainer,
+        TimingEngine,
+        TrainingPlan,
+    )
+    from repro.hardware import NoJitter
+    from repro.nn.models import get_card
+    from repro.sync import BSP
+
+    spec = ClusterSpec(n_workers=2, jitter=NoJitter())
+    plan = TrainingPlan(n_epochs=1, iterations_per_epoch=2)
+    engine = TimingEngine(get_card("resnet50-cifar10"), spec, total_iterations=2)
+    res = DistributedTrainer(spec, plan, engine, BSP()).run()
+    path = tmp_path / "real.json"
+    save_recorder(res.recorder, path)
+    loaded = load_recorder(path)
+    assert loaded.throughput() == pytest.approx(res.recorder.throughput())
+    assert loaded.mean_bst() == pytest.approx(res.recorder.mean_bst())

@@ -1,0 +1,54 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.metrics.recorder import IterationRecord
+from repro.metrics.timeline import render_timeline
+
+
+def rec(worker, start, compute, sync, iteration=0):
+    return IterationRecord(
+        worker=worker,
+        iteration=iteration,
+        start_time=start,
+        compute_time=compute,
+        sync_time=sync,
+        loss=1.0,
+        samples=1,
+    )
+
+
+def test_empty_timeline():
+    assert "empty" in render_timeline([])
+
+
+def test_single_worker_bar_proportions():
+    out = render_timeline([rec(0, 0.0, 5.0, 5.0)], width=10)
+    row = out.splitlines()[0]
+    bar = row.split("|")[1]
+    assert bar.count("#") == 5
+    assert bar.count("=") == 5
+
+
+def test_one_row_per_worker():
+    out = render_timeline([rec(0, 0, 1, 1), rec(2, 0, 1, 1)])
+    lines = out.splitlines()
+    assert lines[0].startswith("w0 ")
+    assert lines[1].startswith("w2 ")
+    assert len(lines) == 3  # two workers + legend
+
+
+def test_idle_gap_rendered():
+    out = render_timeline([rec(0, 0.0, 2.0, 0.0), rec(0, 8.0, 2.0, 0.0, iteration=1)], width=10)
+    bar = out.splitlines()[0].split("|")[1]
+    assert "." in bar
+
+
+def test_horizon_clipping():
+    out = render_timeline([rec(0, 0.0, 10.0, 10.0)], width=10, until=10.0)
+    bar = out.splitlines()[0].split("|")[1]
+    assert bar.count("#") == 10
+    assert "=" not in bar
+
+
+def test_legend_present():
+    out = render_timeline([rec(0, 0, 1, 1)])
+    assert "compute" in out and "sync" in out

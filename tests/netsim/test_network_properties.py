@@ -1,0 +1,121 @@
+"""Property-based tests for the fluid-flow network scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import LinkSpec, Network, StarTopology
+from repro.simcore import Environment
+
+
+@st.composite
+def _flow_plans(draw):
+    n_nodes = draw(st.integers(min_value=2, max_value=6))
+    n_flows = draw(st.integers(min_value=1, max_value=10))
+    flows = []
+    for _ in range(n_flows):
+        src = draw(st.integers(min_value=0, max_value=n_nodes - 1))
+        dst = draw(
+            st.integers(min_value=0, max_value=n_nodes - 1).filter(lambda d: d != src)
+        )
+        size = draw(st.floats(min_value=1.0, max_value=1e4))
+        start = draw(st.floats(min_value=0.0, max_value=5.0))
+        flows.append((src, dst, size, start))
+    return n_nodes, flows
+
+
+def _run_plan(n_nodes, flows, bandwidth=1000.0):
+    env = Environment()
+    topo = StarTopology(n_nodes, default_spec=LinkSpec(bandwidth=bandwidth, latency=0.0))
+    net = Network(env, topo)
+    events = []
+
+    def starter(env, src, dst, size, start):
+        yield env.timeout(start)
+        rec = yield net.transfer(src, dst, size)
+        return rec
+
+    procs = [env.process(starter(env, *f)) for f in flows]
+    env.run()
+    return net, [p.value for p in procs]
+
+
+@given(_flow_plans())
+@settings(max_examples=60, deadline=None)
+def test_property_all_flows_complete(plan):
+    n_nodes, flows = plan
+    _net, records = _run_plan(n_nodes, flows)
+    assert len(records) == len(flows)
+    for rec, (src, dst, size, start) in zip(records, flows):
+        assert rec.end_time >= start
+
+
+@given(_flow_plans())
+@settings(max_examples=60, deadline=None)
+def test_property_duration_at_least_solo_time(plan):
+    """No flow finishes faster than it would alone on an idle network."""
+    n_nodes, flows = plan
+    net, records = _run_plan(n_nodes, flows)
+    for rec, (src, dst, size, start) in zip(records, flows):
+        solo = net.bulk_time(src, dst, size)
+        assert rec.duration >= solo - 1e-6
+
+
+@given(_flow_plans())
+@settings(max_examples=60, deadline=None)
+def test_property_bytes_conserved(plan):
+    """Each flow's bytes are carried exactly once on each of its 2 links."""
+    n_nodes, flows = plan
+    net, _records = _run_plan(n_nodes, flows)
+    total_expected = 2 * sum(size for _s, _d, size, _t in flows)
+    total_carried = sum(l.bytes_carried for l in net.topology.links)
+    assert total_carried == pytest.approx(total_expected, rel=1e-5)
+
+
+@given(_flow_plans())
+@settings(max_examples=40, deadline=None)
+def test_property_deterministic_replay(plan):
+    n_nodes, flows = plan
+    _n1, rec1 = _run_plan(n_nodes, flows)
+    _n2, rec2 = _run_plan(n_nodes, flows)
+    for a, b in zip(rec1, rec2):
+        assert a.end_time == b.end_time
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.floats(min_value=10.0, max_value=1e5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_incast_completion_exact(n_senders, size):
+    """N equal simultaneous pushes to one node finish at exactly N*S/b."""
+    env = Environment()
+    topo = StarTopology(
+        n_senders + 1, default_spec=LinkSpec(bandwidth=100.0, latency=0.0)
+    )
+    net = Network(env, topo)
+    dones = [net.transfer(i, n_senders, size) for i in range(n_senders)]
+    env.run()
+    expected = n_senders * size / 100.0
+    for d in dones:
+        assert d.value.end_time == pytest.approx(expected, rel=1e-9)
+
+
+def test_tiny_remaining_bytes_never_livelock():
+    """Regression: flows whose remainder is too small to advance the float
+    clock must complete rather than re-arm the timer forever (the t≈17.6s
+    livelock found during bring-up)."""
+    env = Environment(initial_time=1e9)  # huge timestamps -> coarse ulps
+    topo = StarTopology(3, default_spec=LinkSpec(bandwidth=1e9, latency=0.0))
+    net = Network(env, topo)
+
+    def staggered(env):
+        yield env.timeout(1e-7)
+        return net.transfer(1, 2, 1000.0)
+
+    d1 = net.transfer(0, 2, 1000.0)
+    p = env.process(staggered(env))
+    env.run()
+    assert d1.value is not None
+    assert p.value.value is not None

@@ -1,0 +1,61 @@
+"""Tests for Chrome-trace export."""
+
+import json
+
+from repro.cluster import ClusterSpec, DistributedTrainer, TimingEngine, TrainingPlan
+from repro.hardware import NoJitter
+from repro.netsim.trace import (
+    flows_to_trace_events,
+    iterations_to_trace_events,
+    write_chrome_trace,
+)
+from repro.nn.models import get_card
+from repro.sync import BSP
+
+
+def run_small():
+    spec = ClusterSpec(n_workers=2, jitter=NoJitter())
+    plan = TrainingPlan(n_epochs=1, iterations_per_epoch=2)
+    engine = TimingEngine(get_card("resnet50-cifar10"), spec, total_iterations=2)
+    trainer = DistributedTrainer(spec, plan, engine, BSP())
+    res = trainer.run()
+    return trainer, res
+
+
+def test_flow_events_have_required_fields():
+    trainer, _res = run_small()
+    events = flows_to_trace_events(trainer.network.records)
+    assert events
+    for ev in events:
+        assert ev["ph"] == "X"
+        assert ev["dur"] >= 1.0
+        assert "bytes" in ev["args"]
+
+
+def test_iteration_events_pair_compute_and_sync():
+    _trainer, res = run_small()
+    events = iterations_to_trace_events(res.recorder.iterations)
+    assert len(events) == 2 * res.recorder.total_iterations
+    names = {e["name"].split()[0] for e in events}
+    assert names == {"compute", "sync"}
+
+
+def test_iteration_events_are_contiguous():
+    _trainer, res = run_small()
+    events = iterations_to_trace_events(res.recorder.iterations)
+    by_tid = {}
+    for e in events:
+        by_tid.setdefault(e["tid"], []).append(e)
+    for tid, evs in by_tid.items():
+        evs.sort(key=lambda e: e["ts"])
+        for a, b in zip(evs, evs[1:]):
+            assert b["ts"] >= a["ts"] + a["dur"] - 2  # 2us rounding slack
+
+
+def test_write_chrome_trace_valid_json(tmp_path):
+    trainer, res = run_small()
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(path, trainer.network.records, res.recorder.iterations)
+    payload = json.loads(path.read_text())
+    assert len(payload["traceEvents"]) == n
+    assert n > 0

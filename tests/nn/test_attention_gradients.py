@@ -1,0 +1,73 @@
+"""Gradient checks for the transformer components (attention is the most
+gradient-bug-prone part of the stack)."""
+
+import numpy as np
+
+from repro.autograd import Tensor, grad_check
+from repro.nn import LayerNorm, MultiHeadSelfAttention, TransformerBlock, GELU
+from repro.nn.loss import qa_span_loss
+from repro.nn.models import TinyBERT
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_attention_gradcheck_small():
+    attn = MultiHeadSelfAttention(dim=4, n_heads=2, rng=rng(0))
+    x = Tensor(rng(1).normal(size=(1, 3, 4)) * 0.5, requires_grad=True)
+    w = Tensor(rng(2).normal(size=(1, 3, 4)))
+    grad_check(lambda a: (attn(a) * w).sum(), [x], rtol=1e-3, atol=1e-5)
+
+
+def test_attention_weight_gradcheck():
+    attn = MultiHeadSelfAttention(dim=4, n_heads=1, rng=rng(3))
+    x = Tensor(rng(4).normal(size=(1, 2, 4)) * 0.5)
+    q_w = attn.q_proj.weight
+    grad_check(lambda w: (attn(x) ** 2).sum(), [q_w], rtol=1e-3, atol=1e-5)
+
+
+def test_transformer_block_gradcheck_input():
+    blk = TransformerBlock(dim=4, n_heads=2, rng=rng(5))
+    x = Tensor(rng(6).normal(size=(1, 2, 4)) * 0.5, requires_grad=True)
+    grad_check(lambda a: (blk(a) ** 2).sum(), [x], rtol=1e-3, atol=1e-5)
+
+
+def test_gelu_gradcheck():
+    g = GELU()
+    x = Tensor(rng(7).normal(size=(3, 2)), requires_grad=True)
+    grad_check(lambda a: (g(a) ** 2).sum(), [x], rtol=1e-4)
+
+
+def test_layernorm_gamma_beta_gradcheck():
+    ln = LayerNorm(3)
+    x = Tensor(rng(8).normal(size=(2, 3)))
+    grad_check(
+        lambda g, b: (ln(x) * Tensor(rng(9).normal(size=(2, 3)))).sum(),
+        [ln.gamma, ln.beta],
+        rtol=1e-4,
+    )
+
+
+def test_tinybert_span_loss_end_to_end_gradcheck():
+    """Full model chain: embedding -> blocks -> span head -> loss."""
+    model = TinyBERT(vocab_size=12, max_seq=4, dim=4, n_heads=2, n_layers=1, seed=0)
+    tokens = rng(10).integers(0, 12, size=(2, 4))
+    starts, ends = np.array([0, 1]), np.array([2, 3])
+    emb = model.tok_emb.weight
+
+    def loss_of(_w):
+        s, e = model(tokens)
+        return qa_span_loss(s, e, starts, ends)
+
+    grad_check(loss_of, [emb], rtol=2e-3, atol=1e-5)
+
+
+def test_attention_permutation_equivariance():
+    """Self-attention without positions is permutation-equivariant."""
+    attn = MultiHeadSelfAttention(dim=8, n_heads=2, rng=rng(11))
+    x = rng(12).normal(size=(1, 5, 8))
+    perm = rng(13).permutation(5)
+    out = attn(Tensor(x)).data
+    out_perm = attn(Tensor(x[:, perm])).data
+    assert np.allclose(out[:, perm], out_perm, atol=1e-10)

@@ -1,0 +1,127 @@
+"""Unit tests for the Module registry machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng())
+        self.act = ReLU()
+        self.fc2 = Linear(8, 2, rng())
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+def test_named_parameters_order_and_names():
+    m = TwoLayer()
+    names = [n for n, _ in m.named_parameters()]
+    assert names == ["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+
+
+def test_parameters_counts():
+    m = TwoLayer()
+    assert m.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+
+def test_leaf_layers_granularity():
+    m = TwoLayer()
+    layers = m.leaf_layers()
+    assert [name for name, _ in layers] == ["fc1", "fc2"]
+
+
+def test_leaf_layers_includes_direct_params():
+    class WithDirect(Module):
+        def __init__(self):
+            super().__init__()
+            self.scale = Parameter(np.ones(3))
+            self.fc = Linear(3, 3, rng())
+
+        def forward(self, x):
+            return self.fc(x * self.scale)
+
+    layers = WithDirect().leaf_layers()
+    assert [name for name, _ in layers] == ["self", "fc"]
+
+
+def test_zero_grad_clears_all():
+    m = TwoLayer()
+    from repro.autograd import Tensor
+
+    out = m(Tensor(np.ones((2, 4))))
+    out.sum().backward()
+    assert any(p.grad is not None for p in m.parameters())
+    m.zero_grad()
+    assert all(p.grad is None for p in m.parameters())
+
+
+def test_train_eval_recursive():
+    m = TwoLayer()
+    m.eval()
+    assert not m.training
+    assert not m.fc1.training
+    m.train()
+    assert m.fc2.training
+
+
+def test_state_dict_roundtrip():
+    m1, m2 = TwoLayer(), TwoLayer()
+    m2.fc1.weight.data += 1.0
+    m2.load_state_dict(m1.state_dict())
+    assert np.allclose(m2.fc1.weight.data, m1.fc1.weight.data)
+
+
+def test_state_dict_is_a_copy():
+    m = TwoLayer()
+    sd = m.state_dict()
+    sd["fc1.weight"][...] = 99.0
+    assert not np.allclose(m.fc1.weight.data, 99.0)
+
+
+def test_load_state_dict_rejects_mismatched_keys():
+    m = TwoLayer()
+    with pytest.raises(KeyError):
+        m.load_state_dict({"nope": np.zeros(1)})
+
+
+def test_load_state_dict_rejects_bad_shape():
+    m = TwoLayer()
+    sd = m.state_dict()
+    sd["fc1.weight"] = np.zeros((1, 1))
+    with pytest.raises(ValueError):
+        m.load_state_dict(sd)
+
+
+def test_forward_not_implemented():
+    class Empty(Module):
+        pass
+
+    with pytest.raises(NotImplementedError):
+        Empty()(None)
+
+
+def test_sequential_applies_in_order():
+    from repro.autograd import Tensor
+
+    seq = Sequential(Linear(2, 3, rng()), ReLU(), Linear(3, 1, rng()))
+    out = seq(Tensor(np.ones((4, 2))))
+    assert out.shape == (4, 1)
+    assert len(seq) == 3
+    assert isinstance(seq[1], ReLU)
+
+
+def test_sequential_rejects_non_module():
+    with pytest.raises(TypeError):
+        Sequential(Linear(2, 2, rng()), "not a module")
+
+
+def test_repr_contains_param_count():
+    assert "params=" in repr(TwoLayer())

@@ -1,0 +1,121 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import SYNC_FACTORIES, build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cards_command(capsys):
+    assert main(["cards"]) == 0
+    out = capsys.readouterr().out
+    for card in ("resnet50-cifar10", "bertbase-squad"):
+        assert card in out
+
+
+def test_figures_command(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "bench_fig6a_throughput" in out
+    assert "bench_fig9_bct_colocated" in out
+
+
+def test_run_timing_mode(capsys):
+    code = main(
+        [
+            "run",
+            "--workload",
+            "resnet50-cifar10",
+            "--sync",
+            "bsp",
+            "--mode",
+            "timing",
+            "--workers",
+            "2",
+            "--epochs",
+            "2",
+            "--iterations",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bsp" in out and "samples/s" in out
+
+
+def test_run_json_output(capsys):
+    main(
+        [
+            "run",
+            "--sync",
+            "osp",
+            "--workers",
+            "2",
+            "--epochs",
+            "2",
+            "--iterations",
+            "2",
+            "--json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sync"] == "osp"
+    assert payload["throughput"] > 0
+    assert len(payload["tta"]) == 2
+
+
+def test_run_numeric_mode(capsys):
+    code = main(
+        [
+            "run",
+            "--mode",
+            "numeric",
+            "--sync",
+            "bsp",
+            "--workers",
+            "2",
+            "--epochs",
+            "1",
+            "--samples",
+            "200",
+            "--batch-size",
+            "10",
+        ]
+    )
+    assert code == 0
+    assert "best metric" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_sync():
+    with pytest.raises(SystemExit):
+        main(["run", "--sync", "nope"])
+
+
+def test_compare_command(capsys):
+    code = main(
+        [
+            "compare",
+            "--workers",
+            "2",
+            "--epochs",
+            "2",
+            "--iterations",
+            "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    for name in ("asp", "bsp", "r2sp", "osp"):
+        assert name in out
+
+
+def test_all_sync_factories_instantiate():
+    for name, factory in SYNC_FACTORIES.items():
+        model = factory()
+        assert hasattr(model, "worker_process"), name

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script parses, imports, and exposes main().
+
+Full example runs take minutes; CI-level protection against import rot and
+API drift only needs the import. (Examples are executed end-to-end in the
+benchmark/docs workflow.)
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 3  # deliverable: at least three runnable examples
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_imports_and_has_main(name):
+    module = _load(name)
+    assert callable(getattr(module, "main", None)), f"{name} lacks main()"
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_has_module_docstring(name):
+    module = _load(name)
+    assert module.__doc__ and "Run:" in module.__doc__

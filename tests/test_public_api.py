@@ -1,0 +1,94 @@
+"""Public API surface tests: imports, __all__ consistency, docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.simcore",
+    "repro.netsim",
+    "repro.hardware",
+    "repro.autograd",
+    "repro.nn",
+    "repro.nn.models",
+    "repro.optim",
+    "repro.data",
+    "repro.compression",
+    "repro.sync",
+    "repro.core",
+    "repro.cluster",
+    "repro.metrics",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    mod = importlib.import_module(name)
+    assert hasattr(mod, "__all__"), f"{name} has no __all__"
+    for symbol in mod.__all__:
+        assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_docstrings(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20, name
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_classes_and_functions_documented(name):
+    mod = importlib.import_module(name)
+    for symbol in mod.__all__:
+        obj = getattr(mod, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_sync_models_have_unique_names():
+    from repro.compression import TopK
+    from repro.core import OSP, ColocatedOSP
+    from repro.sync import (
+        ASP,
+        BSP,
+        CompressedBSP,
+        DSSP,
+        R2SP,
+        SSP,
+        ShardedBSP,
+        SyncSwitch,
+    )
+
+    models = [
+        ASP(),
+        BSP(),
+        SSP(),
+        DSSP(),
+        R2SP(),
+        R2SP(duplex=True),
+        SyncSwitch(),
+        ShardedBSP(),
+        CompressedBSP(TopK(0.1)),
+        OSP(),
+        OSP(force="bsp"),
+        OSP(force="asp"),
+        OSP(fixed_budget_fraction=0.5),
+        ColocatedOSP(),
+    ]
+    names = [m.name for m in models]
+    assert len(set(names)) == len(names)
