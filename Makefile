@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full faults examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -13,6 +13,11 @@ bench:
 
 bench-full:
 	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only -s
+
+# Fault-injection smoke: the tier-1 fault tests plus the robustness bench.
+faults:
+	pytest tests/cluster/test_faults.py -q
+	pytest benchmarks/bench_fault_robustness.py --benchmark-only -s
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

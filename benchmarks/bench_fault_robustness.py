@@ -1,0 +1,129 @@
+"""Fault robustness — OSP under injected network and worker faults.
+
+Three scenarios against a clean baseline, all on the same workload:
+
+* ``crash``       a worker dies mid-run; the RS barrier must shrink to a
+                  degraded quorum and the survivors finish every epoch
+                  (no deadlock, reweighted averages).
+* ``loss-burst``  a sustained loss burst inflates the ICS drain past its
+                  Eq. 5 deadline; after ``deadline_k`` consecutive misses
+                  OSP pins the GIB all-important (§4.3 BSP fallback) and
+                  resumes adaptive splitting once the rounds recover.
+* ``straggler``   a 4x compute slowdown on one worker raises the BST tail
+                  the other workers observe.
+"""
+
+from conftest import bench_quick
+
+from repro.core import OSP
+from repro.faults import FaultSchedule, LossBurst, StragglerSlowdown, WorkerCrash
+from repro.harness import WorkloadConfig, timing_trainer
+from repro.metrics.report import format_table
+
+WORKLOAD = "resnet50-cifar10"
+BUDGET = 0.8  # near U_max: a <2x loss inflation is enough to blow Eq. 5
+
+
+def _cfg(quick, faults=None):
+    return WorkloadConfig(
+        WORKLOAD,
+        n_workers=4 if quick else 8,
+        n_epochs=6 if quick else 16,
+        iterations_per_epoch=6 if quick else 10,
+        sigma=0.0,
+        faults=faults,
+    )
+
+
+def _run():
+    quick = bench_quick()
+    out = {}
+
+    base = timing_trainer(_cfg(quick), OSP(fixed_budget_fraction=BUDGET)).run()
+    out["baseline"] = base
+
+    crash = FaultSchedule((WorkerCrash(worker=1, before_epoch=2),))
+    out["crash"] = timing_trainer(
+        _cfg(quick, crash), OSP(fixed_budget_fraction=BUDGET)
+    ).run()
+
+    burst = FaultSchedule(
+        (
+            LossBurst(
+                start=0.3 * base.wall_time,
+                duration=0.4 * base.wall_time,
+                loss_rate=0.9,
+            ),
+        )
+    )
+    out["loss-burst"] = timing_trainer(
+        _cfg(quick, burst),
+        OSP(fixed_budget_fraction=BUDGET, deadline_k=2, fallback_rounds=4),
+    ).run()
+
+    slow = FaultSchedule(
+        (
+            StragglerSlowdown(
+                worker=0,
+                start=0.25 * base.wall_time,
+                duration=0.5 * base.wall_time,
+                factor=4.0,
+            ),
+        )
+    )
+    out["straggler"] = timing_trainer(
+        _cfg(quick, slow), OSP(fixed_budget_fraction=BUDGET)
+    ).run()
+    return out
+
+
+def test_fault_robustness(benchmark):
+    out = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for name, res in out.items():
+        c = res.recorder.counter
+        rows.append(
+            (
+                name,
+                f"{res.wall_time:.1f}",
+                f"{res.throughput:.1f}",
+                f"{res.recorder.bst_percentile(90) * 1e3:.0f}",
+                c("osp.degraded_quorum"),
+                c("osp.deadline_miss"),
+                c("osp.bsp_fallback"),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["scenario", "virtual s", "samples/s", "BST p90 (ms)",
+             "degraded rounds", "deadline misses", "BSP fallbacks"],
+            rows,
+            title="Fault robustness — OSP under injected faults (§4.3)",
+        )
+    )
+
+    base = out["baseline"]
+    n_epochs = len(base.recorder.epochs)
+    assert base.recorder.counter("osp.deadline_miss") == 0
+
+    # Acceptance: a crash mid-epoch still completes the run, via degraded
+    # quorum aggregation rather than a hung barrier.
+    crash = out["crash"]
+    assert len(crash.recorder.epochs) == n_epochs
+    assert crash.recorder.counter("faults.worker_crash") == 1
+    assert crash.recorder.counter("osp.degraded_quorum") > 0
+
+    # Acceptance: a sustained loss burst drives OSP into its §4.3 BSP
+    # fallback — and it recovers once the burst passes.
+    burst = out["loss-burst"]
+    assert len(burst.recorder.epochs) == n_epochs
+    assert burst.recorder.counter("osp.deadline_miss") >= 2
+    assert burst.recorder.counter("osp.bsp_fallback") >= 1
+    assert burst.recorder.counter("osp.bsp_fallback_exit") >= 1
+    assert burst.wall_time > base.wall_time
+
+    # A straggler stretches the sync-time tail and the run itself.
+    slow = out["straggler"]
+    assert slow.recorder.bst_percentile(90) > base.recorder.bst_percentile(90)
+    assert slow.wall_time > base.wall_time

@@ -25,6 +25,7 @@ import sys
 
 from repro.core.colocated import ColocatedOSP
 from repro.core.osp import OSP
+from repro.faults import parse_faults
 from repro.harness.workloads import (
     EVALUATION_WORKLOADS,
     WorkloadConfig,
@@ -54,6 +55,7 @@ SYNC_FACTORIES = {
 
 
 def _build_trainer(args, sync_name: str):
+    faults = parse_faults(args.faults) if getattr(args, "faults", None) else None
     cfg = WorkloadConfig(
         args.workload,
         n_workers=args.workers,
@@ -62,6 +64,7 @@ def _build_trainer(args, sync_name: str):
         sigma=args.sigma,
         seed=args.seed,
         colocated_ps=sync_name == "osp-c",
+        faults=faults,
     )
     sync = SYNC_FACTORIES[sync_name]()
     if args.mode == "timing":
@@ -107,7 +110,9 @@ def cmd_run(args) -> int:
                     "mean_bct": res.mean_bct,
                     "best_metric": res.best_metric,
                     "wall_time": res.wall_time,
+                    "iteration_end_time": res.iteration_end_time,
                     "iterations": res.recorder.total_iterations,
+                    "counters": res.recorder.counters,
                     "tta": res.recorder.time_to_accuracy(),
                 }
             )
@@ -192,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--samples", type=int, default=1600, help="dataset size (numeric)")
         p.add_argument("--batch-size", type=int, default=25, help="numeric batch size")
+        p.add_argument(
+            "--faults",
+            metavar="SPEC",
+            help="fault schedule: inline JSON (list of {kind,...} events) "
+            "or a path to a JSON file — see repro.faults.parse_faults",
+        )
 
     p_run = sub.add_parser("run", help="run one (workload, sync) simulation")
     add_common(p_run)

@@ -17,7 +17,7 @@ from repro.metrics.recorder import EpochRecord, IterationRecord, Recorder
 from repro.netsim.network import Network
 from repro.simcore.environment import Environment
 from repro.simcore.events import Event
-from repro.simcore.resources import Barrier, Resource
+from repro.simcore.resources import Barrier, QuorumBarrier, Resource
 
 
 class TrainerContext:
@@ -49,8 +49,14 @@ class TrainerContext:
         self._stop_after_epoch: Optional[int] = None
         self._alive = set(range(spec.n_workers))
         self._failure_schedule: dict[int, int] = {}
+        self._restart_schedule: dict[int, int] = {}
         self._epoch_arrivals: dict[int, int] = {}
         self._epoch_losses: dict[int, list[float]] = {}
+        self._completed: set[int] = set()
+        self._completion_events: dict[int, Event] = {}
+        self._quorum_barriers: list[QuorumBarrier] = []
+        #: the run's FaultInjector, set by the trainer when a schedule exists
+        self.faults = None
         self._best_metric = -np.inf
         self._epochs_since_improvement = 0
         self._lr_scheduler = None  # set by trainer
@@ -86,34 +92,79 @@ class TrainerContext:
         """Workers still participating."""
         return frozenset(self._alive)
 
-    def schedule_failure(self, worker: int, before_epoch: int) -> None:
+    def schedule_failure(
+        self, worker: int, before_epoch: int, restart_epoch: Optional[int] = None
+    ) -> None:
         """Inject a crash: ``worker`` dies before starting ``before_epoch``.
 
         This demonstrates the PS architecture's fault resilience the paper
         motivates in §1 (vs Ring-AllReduce's fragility): training continues
-        with the surviving workers. Supported for barrier-free sync models
-        (ASP, SSP/DSSP, R²SP); barrier-based models would need dynamic
-        quorums and are out of scope.
+        with the surviving workers. Barrier-free sync models (ASP, SSP/DSSP,
+        R²SP) shrink naturally; barrier-based models must use
+        :meth:`quorum_barrier` so the quorum shrinks with the cluster (OSP
+        does; plain BSP keeps its static barrier and is not crash-safe).
+
+        ``restart_epoch`` (optional) makes this a crash/restart cycle: the
+        worker rejoins once the survivors finish epoch ``restart_epoch−1``.
         """
         if not (0 <= worker < self.spec.n_workers):
             raise ValueError(f"unknown worker {worker}")
         if before_epoch < 1:
             raise ValueError("workers can only fail after completing an epoch")
+        if restart_epoch is not None and restart_epoch <= before_epoch:
+            raise ValueError("restart_epoch must be after before_epoch")
         self._failure_schedule[worker] = before_epoch
+        if restart_epoch is not None:
+            self._restart_schedule[worker] = restart_epoch
 
     def should_fail(self, worker: int, epoch: int) -> bool:
         """Does the injected fault schedule kill this worker now?"""
         target = self._failure_schedule.get(worker)
         return target is not None and epoch >= target
 
-    def retire_worker(self, worker: int) -> None:
+    def retire_worker(self, worker: int) -> Optional[int]:
         """Remove a (crashed) worker; completes any epochs it was the last
-        missing arrival for."""
-        self._alive.discard(worker)
-        if not self._alive:
-            return
-        for epoch in sorted(self._epoch_arrivals):
-            self._maybe_complete_epoch(epoch)
+        missing arrival for; shrinks registered quorum barriers. Returns the
+        worker's scheduled restart epoch (None = permanent loss)."""
+        if worker in self._alive:
+            self._alive.discard(worker)
+            self.recorder.incr("faults.worker_crash")
+        # Consume the schedule entry so a restarted worker does not re-crash.
+        self._failure_schedule.pop(worker, None)
+        if self._alive:
+            for barrier in self._quorum_barriers:
+                barrier.set_parties(len(self._alive))
+            for epoch in sorted(self._epoch_arrivals):
+                self._maybe_complete_epoch(epoch)
+        return self._restart_schedule.pop(worker, None)
+
+    def revive_worker(self, worker: int) -> bool:
+        """Re-admit a restarted worker (replica re-synced from the PS).
+
+        Returns False — and leaves the worker retired — if early stopping
+        already ended the run; rejoining closed epochs would hang.
+        """
+        if self.stopped:
+            return False
+        self._alive.add(worker)
+        self.recorder.incr("faults.worker_restart")
+        for barrier in self._quorum_barriers:
+            barrier.set_parties(len(self._alive))
+        self.engine.sync_replica(worker, self.ps)
+        return True
+
+    def epoch_completion(self, epoch: int) -> Event:
+        """Event that succeeds once ``epoch`` has been completed by all
+        alive workers (immediately if it already has, or if the run ended
+        early — a restarting worker must never wait on an epoch that will
+        no longer happen)."""
+        ev = self._completion_events.get(epoch)
+        if ev is None:
+            ev = Event(self.env)
+            self._completion_events[epoch] = ev
+            if epoch in self._completed or self.stopped:
+                ev.succeed(epoch)
+        return ev
 
     @property
     def current_lr(self) -> float:
@@ -164,6 +215,20 @@ class TrainerContext:
         """A fresh cyclic barrier over all workers."""
         return Barrier(self.env, self.spec.n_workers)
 
+    def quorum_barrier(self, timeout=None, on_degraded=None) -> QuorumBarrier:
+        """A crash-aware barrier: its party count tracks the alive-worker
+        set (:meth:`retire_worker`/:meth:`revive_worker` resize every
+        barrier created here), and an optional virtual-time ``timeout``
+        releases a degraded quorum instead of deadlocking."""
+        barrier = QuorumBarrier(
+            self.env,
+            max(1, len(self._alive)),
+            timeout=timeout,
+            on_degraded=on_degraded,
+        )
+        self._quorum_barriers.append(barrier)
+        return barrier
+
     # -- compute -----------------------------------------------------------------
     def compute(self, worker: int, epoch: int, batch: int, extra_time: float = 0.0):
         """Generator: advance virtual time by this iteration's (jittered)
@@ -171,6 +236,8 @@ class TrainerContext:
         ``(grads, loss, samples, t_compute, t_start)``."""
         iteration = epoch * self.iterations_per_epoch + batch
         base = self.engine.base_compute_time(self.spec) + extra_time
+        if self.faults is not None:
+            base *= self.faults.compute_factor(worker, self.env.now)
         t_c = self.spec.jitter.sample(base, worker, iteration)
         t_start = self.env.now
         yield self.env.timeout(t_c)
@@ -209,11 +276,13 @@ class TrainerContext:
         self._maybe_complete_epoch(epoch)
 
     def _maybe_complete_epoch(self, epoch: int) -> None:
+        if epoch in self._completed or not self._alive:
+            return
         count = self._epoch_arrivals.get(epoch, 0)
-        if count < len(self._alive) or count < 0:
+        if count < len(self._alive):
             return
         # mark completed so retire_worker re-checks cannot double-fire
-        self._epoch_arrivals[epoch] = -1
+        self._completed.add(epoch)
 
         losses = self._epoch_losses.get(epoch, [0.0])
         train_loss = float(np.mean(losses))
@@ -233,6 +302,9 @@ class TrainerContext:
         for hook in self.epoch_end_hooks:
             hook(epoch, train_loss, metric)
         self._check_early_stop(metric, epoch)
+        ev = self._completion_events.get(epoch)
+        if ev is not None and not ev.triggered:
+            ev.succeed(epoch)
 
     def _check_early_stop(self, metric: float, epoch: int) -> None:
         patience = self.plan.early_stop_patience
@@ -248,6 +320,11 @@ class TrainerContext:
                 and self._stop_after_epoch is None
             ):
                 self._stop_after_epoch = epoch + 1
+                # Epochs beyond the stop point will never complete; release
+                # anyone (a restarting worker) waiting on them.
+                for ev in self._completion_events.values():
+                    if not ev.triggered:
+                        ev.succeed(None)
 
 
 __all__ = ["TrainerContext"]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults.schedule import FaultSchedule
 from repro.hardware.gpu import GPUSpec, get_gpu
 from repro.hardware.jitter import JitterModel, NoJitter
 from repro.netsim.links import LinkSpec
@@ -33,10 +34,18 @@ class ClusterSpec:
     ps_agg_bandwidth: float | None = 6e9
     #: Number of parameter servers (§6.1 synchronization groups).
     n_ps: int = 1
+    #: Scheduled faults replayed against the run (None = fault-free).
+    faults: Optional[FaultSchedule] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.faults is not None:
+            for crash in self.faults.crash_events:
+                if crash.worker >= self.n_workers:
+                    raise ValueError(
+                        f"fault schedule crashes unknown worker {crash.worker}"
+                    )
         if self.ps_agg_bandwidth is not None and self.ps_agg_bandwidth <= 0:
             raise ValueError(
                 f"ps_agg_bandwidth must be positive or None, got {self.ps_agg_bandwidth}"

@@ -17,12 +17,20 @@ from repro.simcore.environment import Environment
 
 @dataclass
 class TrainingResult:
-    """Everything a benchmark needs after a run."""
+    """Everything a benchmark needs after a run.
+
+    ``wall_time`` is the simulation clock when the last worker process
+    finished — it *includes* background work still draining after the last
+    recorded iteration (OSP's final ICS). ``iteration_end_time`` is the old
+    metric (last iteration's compute+sync end) and is what throughput is
+    computed against, so throughput stays comparable across sync models.
+    """
 
     sync_name: str
     recorder: Recorder
-    wall_time: float  # virtual seconds of the whole run
+    wall_time: float  # virtual seconds of the whole run, drain included
     context: TrainerContext
+    iteration_end_time: float = 0.0  # when the last *iteration* finished
 
     @property
     def throughput(self) -> float:
@@ -105,6 +113,13 @@ class DistributedTrainer:
                 step_epochs=plan.lr_step_epochs,
                 gamma=plan.lr_gamma,
             )
+        self.injector = None
+        if spec.faults:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(self.ctx, spec.faults)
+            self.ctx.faults = self.injector
+            self.injector.start()
 
     def run(self) -> TrainingResult:
         """Execute the simulation to completion and collect results."""
@@ -113,15 +128,20 @@ class DistributedTrainer:
             self.env.process(self.sync_model.worker_process(self.ctx, w))
             for w in range(self.spec.n_workers)
         ]
-        self.env.run()
+        # Run until every worker process has finished (not until the event
+        # queue drains): wall_time then covers in-flight ICS drain but not
+        # unrelated trailing timers such as open-ended fault windows. A
+        # deadlocked cluster raises SimulationError instead of returning.
+        self.env.run(until=self.env.all_of(procs))
         for p in procs:
             if not p.ok:  # pragma: no cover - defensive
                 raise p.value
         return TrainingResult(
             sync_name=self.sync_model.name,
             recorder=self.recorder,
-            wall_time=self.recorder.end_time(),
+            wall_time=self.env.now,
             context=self.ctx,
+            iteration_end_time=self.recorder.end_time(),
         )
 
 

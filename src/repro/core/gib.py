@@ -10,7 +10,7 @@ for <1K-layer models, §4.1.2) and split their gradients accordingly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -73,6 +73,7 @@ class GIB:
         importance: Mapping[str, float],
         layer_bytes: Mapping[str, int],
         budget_bytes: float,
+        layers: Optional[Sequence[str]] = None,
     ) -> "GIB":
         """Build the bitmap from PGP scores and a deferred-byte budget.
 
@@ -85,12 +86,25 @@ class GIB:
         that does not fit the remaining budget is skipped (not a stopping
         point) so smaller layers behind it can still use the budget. Ties
         break by layer order for determinism.
+
+        ``layers`` pins the bitmap's layer order — the PS↔worker shared
+        state :meth:`pack`/:meth:`unpack` rely on. Pass the canonical
+        splitter order; relying on the default (``importance`` insertion
+        order) couples on-wire layout to whichever dict the caller built.
         """
         if set(importance) != set(layer_bytes):
             raise ValueError("importance and layer_bytes must cover the same layers")
-        if budget_bytes < 0:
-            raise ValueError(f"negative budget {budget_bytes}")
-        layers = tuple(importance.keys())
+        if not (budget_bytes >= 0):  # rejects negatives AND NaN
+            raise ValueError(f"budget must be a number >= 0, got {budget_bytes}")
+        if layers is None:
+            layers = tuple(importance.keys())
+        else:
+            layers = tuple(layers)
+            if len(set(layers)) != len(layers) or set(layers) != set(importance):
+                raise ValueError(
+                    "layers must be a duplicate-free permutation of the "
+                    "importance keys"
+                )
 
         def density(i: int) -> float:
             b = layer_bytes[layers[i]]
@@ -114,13 +128,23 @@ class GIB:
 
     @classmethod
     def unpack(cls, payload: bytes, layers: Sequence[str]) -> "GIB":
-        """Inverse of :meth:`pack` given the shared layer order."""
+        """Inverse of :meth:`pack` given the shared layer order.
+
+        Strict: the payload must be exactly the byte-padded size for
+        ``layers`` and the padding bits must be zero — an oversized or
+        bit-dirty payload means PS and worker disagree on the layer list,
+        which must fail loudly rather than silently truncate.
+        """
         layers = tuple(layers)
-        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
-        if bits.size < len(layers):
+        expected = (len(layers) + 7) // 8
+        if len(payload) != expected:
             raise ValueError(
-                f"payload holds {bits.size} bits, need {len(layers)}"
+                f"payload is {len(payload)} bytes, expected {expected} "
+                f"for {len(layers)} layers"
             )
+        bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+        if bits[len(layers) :].any():
+            raise ValueError("nonzero padding bits in GIB payload")
         return cls(layers, tuple(bool(b) for b in bits[: len(layers)]))
 
 

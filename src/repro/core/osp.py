@@ -59,6 +59,22 @@ class OSP(SyncModel):
         Ablation knob: bypass Algorithm 1 and hold S(G^u) constant at this
         fraction of the model size from the first iteration (still clipped
         to U_max so Eq. 5 is honoured).
+    quorum_timeout:
+        Optional virtual-seconds deadline for the RS barrier, measured from
+        a round's first arrival. On expiry the round proceeds with whoever
+        arrived (reweighted average over the present deposits) instead of
+        deadlocking — the PS-side resilience of §4.3. ``None`` keeps the
+        classic blocking barrier (though the quorum still shrinks when a
+        worker is *known* dead via the fault schedule).
+    deadline_k:
+        §4.3 degradation trigger: after this many *consecutive* RS rounds
+        in which some worker found its previous ICS push still on the
+        uplink (the Eq. 5 deadline was blown), pin the GIB to
+        all-important — BSP mode — for ``fallback_rounds`` rounds, then
+        resume adaptive operation. ``None`` (default) disables the
+        fallback; deadline misses are still counted.
+    fallback_rounds:
+        How long a triggered BSP fallback lasts, in RS rounds.
     """
 
     name = "osp"
@@ -69,6 +85,9 @@ class OSP(SyncModel):
         lgp: str = "local",
         force: Optional[str] = None,
         fixed_budget_fraction: Optional[float] = None,
+        quorum_timeout: Optional[float] = None,
+        deadline_k: Optional[int] = None,
+        fallback_rounds: int = 8,
     ) -> None:
         if lgp not in ("local", "ema", "none"):
             raise ValueError(f"unknown lgp mode {lgp!r}")
@@ -80,10 +99,19 @@ class OSP(SyncModel):
             raise ValueError(
                 f"fixed_budget_fraction must be in [0,1], got {fixed_budget_fraction}"
             )
+        if quorum_timeout is not None and quorum_timeout <= 0:
+            raise ValueError(f"quorum_timeout must be positive, got {quorum_timeout}")
+        if deadline_k is not None and deadline_k < 1:
+            raise ValueError(f"deadline_k must be >= 1, got {deadline_k}")
+        if fallback_rounds < 1:
+            raise ValueError(f"fallback_rounds must be >= 1, got {fallback_rounds}")
         self.max_model_fraction = max_model_fraction
         self.lgp_mode = lgp
         self.force = force
         self.fixed_budget_fraction = fixed_budget_fraction
+        self.quorum_timeout = quorum_timeout
+        self.deadline_k = deadline_k
+        self.fallback_rounds = fallback_rounds
         if force:
             self.name = f"osp-forced-{force}"
         elif fixed_budget_fraction is not None:
@@ -95,7 +123,12 @@ class OSP(SyncModel):
         engine = ctx.engine
         self.splitter = engine.splitter
         layers = self.splitter.layers
-        self._barrier = ctx.barrier()
+        # Crash-aware RS barrier: retiring a worker shrinks the quorum, and
+        # an optional timeout releases a degraded round instead of hanging.
+        self._barrier = ctx.quorum_barrier(
+            timeout=self.quorum_timeout,
+            on_degraded=lambda gen, size: ctx.recorder.incr("osp.quorum_timeout"),
+        )
 
         # Eq. 5: the PS-side link is the shared bottleneck for N ICS pushes.
         route_loss = 1.0 - (1.0 - ctx.spec.link.loss_rate) ** 2
@@ -123,7 +156,15 @@ class OSP(SyncModel):
         else:
             self._gib = GIB.all_important(layers)
         self._pending_gib: Optional[GIB] = None
-        self._last_promote_gen = -1
+        self._last_round_gen = -1
+        #: iteration -> RS deposits present when the round closed; the ICS
+        #: round for that iteration expects the same quorum (a dead worker
+        #: never pushes its ICS share, so waiting for N would hang).
+        self._ics_expected: dict[int, int] = {}
+        #: Eq. 5 deadline tracking for the §4.3 BSP fallback.
+        self._round_blown: dict[int, bool] = {}
+        self._consecutive_blown = 0
+        self._fallback_remaining = 0
 
         n = ctx.spec.n_workers
         self._ics_push_done = [None] * n
@@ -165,11 +206,21 @@ class OSP(SyncModel):
     def current_gib(self) -> GIB:
         return self._gib
 
+    @property
+    def in_bsp_fallback(self) -> bool:
+        """True while the §4.3 deadline-triggered BSP fallback is active."""
+        return self._fallback_remaining > 0
+
     # ------------------------------------------------------ synchronization
     def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
-        # (1) our previous ICS push must have left the uplink.
+        # (1) our previous ICS push must have left the uplink. Having to
+        # wait here means the ICS blew its Eq. 5 deadline (the budget no
+        # longer fits inside T_c — loss burst, bandwidth dip, ...).
         prev_push = self._ics_push_done[worker]
         if prev_push is not None and not prev_push.triggered:
+            if not self._round_blown.get(iteration):
+                self._round_blown[iteration] = True
+                ctx.recorder.incr("osp.deadline_miss")
             yield prev_push
 
         gib = self._gib  # capture: one bitmap per iteration, all stages
@@ -183,19 +234,17 @@ class OSP(SyncModel):
         else:
             g_imp = g_unimp = None
 
-        # (2) RS push + PS-side aggregation once the quorum is in.
+        # (2) RS push; the round is aggregated when the barrier trips — on a
+        # full quorum, a degraded quorum (timeout) or a shrunk one (crash) —
+        # by the first worker released, so whatever deposits are present get
+        # the reweighted average instead of the round hanging on the dead.
         yield ctx.transfer_to_ps(worker, imp_bytes, tag=("rs-push", worker, iteration))
         bucket = f"rs:{iteration}"
-        if ctx.ps.accumulate(bucket, worker, g_imp) == ctx.spec.n_workers:
-            ctx.ps.apply_average(bucket)
+        ctx.ps.accumulate(bucket, worker, g_imp)
         generation = yield self._barrier.wait()
-
-        # Adopt a freshly-broadcast GIB exactly once per barrier generation,
-        # i.e. after every worker has split this iteration with the old one.
-        if self._pending_gib is not None and generation != self._last_promote_gen:
-            self._gib = self._pending_gib
-            self._pending_gib = None
-            self._last_promote_gen = generation
+        if generation != self._last_round_gen:
+            self._last_round_gen = generation
+            self._close_rs_round(ctx, iteration, bucket)
 
         # (3) RS pull: updated important parameters.
         yield ctx.transfer_from_ps(worker, imp_bytes, tag=("rs-pull", worker, iteration))
@@ -223,6 +272,47 @@ class OSP(SyncModel):
         else:
             self._ics_push_done[worker] = None
 
+    def _close_rs_round(self, ctx, iteration, bucket) -> None:
+        """Executed once per barrier generation by the first released
+        worker (URGENT trip → this straight-line code runs before any
+        released worker's pull can complete, so ordering matches the old
+        apply-on-last-deposit scheme on the full-quorum path)."""
+        n = ctx.ps.pending(bucket)
+        self._ics_expected[iteration] = n
+        if n:
+            if n < ctx.spec.n_workers:
+                ctx.recorder.incr("osp.degraded_quorum")
+            # apply_average renormalises over the present workers' weights —
+            # the degraded-quorum reweighting.
+            ctx.ps.apply_average(bucket)
+
+        # Adopt a freshly-broadcast GIB exactly once per barrier generation,
+        # i.e. after every worker has split this iteration with the old one.
+        if self._pending_gib is not None:
+            self._gib = self._pending_gib
+            self._pending_gib = None
+
+        if self.force is not None:
+            return
+        # §4.3 deadline-triggered degradation to BSP and back.
+        blown = self._round_blown.pop(iteration, False)
+        if self._fallback_remaining > 0:
+            self._fallback_remaining -= 1
+            if self._fallback_remaining == 0:
+                ctx.recorder.incr("osp.bsp_fallback_exit")
+                self._refresh_gib(ctx)  # resume adaptive splitting
+            return
+        if blown and self.deadline_k is not None:
+            self._consecutive_blown += 1
+            if self._consecutive_blown >= self.deadline_k:
+                ctx.recorder.incr("osp.bsp_fallback")
+                self._consecutive_blown = 0
+                self._fallback_remaining = self.fallback_rounds
+                self._gib = GIB.all_important(self.splitter.layers)
+                self._pending_gib = None
+        elif not blown:
+            self._consecutive_blown = 0
+
     def _ics_process(self, ctx, worker, iteration, g_unimp, unimp_layers, unimp_bytes):
         push = ctx.transfer_to_ps(
             worker, unimp_bytes, tag=("ics-push", worker, iteration)
@@ -231,21 +321,26 @@ class OSP(SyncModel):
         yield push
 
         bucket = f"ics:{iteration}"
-        if ctx.ps.accumulate(bucket, worker, g_unimp) == ctx.spec.n_workers:
+        # The RS round already fixed how many workers participate in this
+        # iteration; a crashed worker's ICS share will never arrive.
+        expected = self._ics_expected.get(iteration, ctx.spec.n_workers)
+        ready = self._ready(ctx, iteration)
+        if ctx.ps.accumulate(bucket, worker, g_unimp) >= expected and not ready.triggered:
             ctx.ps.apply_average(bucket)
             snapshot = (
                 ctx.ps.snapshot(self.splitter.params_of(unimp_layers))
                 if ctx.ps.numeric
                 else {}
             )
-            self._ready(ctx, iteration).succeed(snapshot)
+            ready.succeed(snapshot)
             self._refresh_gib(ctx)
             # Hygiene: ready-events three iterations back are guaranteed
             # consumed (the RS barrier serialises rounds), so drop them to
             # keep memory flat over long runs.
             self._ics_ready.pop(iteration - 3, None)
+            self._ics_expected.pop(iteration - 3, None)
 
-        snapshot = yield self._ready(ctx, iteration)
+        snapshot = yield ready
         yield ctx.transfer_from_ps(
             worker, unimp_bytes, tag=("ics-pull", worker, iteration)
         )
@@ -270,9 +365,16 @@ class OSP(SyncModel):
         """PS side: recompute importance + bitmap; broadcast to workers."""
         if self.force is not None:
             return
+        if self._fallback_remaining > 0:
+            # BSP fallback pins the bitmap; late ICS completions from
+            # pre-fallback iterations must not stage a new one.
+            return
         importance = ctx.engine.ps_layer_importance(ctx.ps)
         new_gib = GIB.from_importance(
-            importance, ctx.engine.layer_bytes, self._budget
+            importance,
+            ctx.engine.layer_bytes,
+            self._budget,
+            layers=self.splitter.layers,
         )
         self._pending_gib = new_gib
         # Traffic accounting for the (tiny) bitmap broadcast (§4.1.2).

@@ -15,6 +15,7 @@ U_max as the loss falls:
 
 from __future__ import annotations
 
+import math
 
 #: Algorithm 1 line 2: U_max never exceeds this fraction of the model.
 MAX_MODEL_FRACTION = 0.8
@@ -43,15 +44,15 @@ def ics_upper_bound(
     model_bytes:
         Total model/gradient size.
     """
-    if bandwidth <= 0:
+    if not math.isfinite(bandwidth) or bandwidth <= 0:
         raise ValueError(f"bandwidth must be positive, got {bandwidth}")
     if not (0.0 <= loss_rate < 1.0):
         raise ValueError(f"loss_rate must be in [0,1), got {loss_rate}")
-    if compute_time < 0:
+    if not math.isfinite(compute_time) or compute_time < 0:
         raise ValueError(f"compute_time must be >= 0, got {compute_time}")
     if n_workers < 1:
         raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    if model_bytes <= 0:
+    if not math.isfinite(model_bytes) or model_bytes <= 0:
         raise ValueError(f"model_bytes must be positive, got {model_bytes}")
     if not (0.0 < max_model_fraction <= 1.0):
         raise ValueError(f"bad max_model_fraction {max_model_fraction}")
@@ -74,7 +75,7 @@ class SGuTuner:
     """
 
     def __init__(self, u_max: float) -> None:
-        if u_max < 0:
+        if not math.isfinite(u_max) or u_max < 0:
             raise ValueError(f"u_max must be >= 0, got {u_max}")
         self.u_max = float(u_max)
         self._initial_loss: float | None = None
@@ -85,7 +86,16 @@ class SGuTuner:
         return self._initial_loss
 
     def budget(self, epoch_loss: float) -> float:
-        """Deferred-byte budget S(G^u) for the epoch with this loss."""
+        """Deferred-byte budget S(G^u) for the epoch with this loss.
+
+        A NaN/inf loss (numeric divergence) must not poison the normaliser
+        ``L`` or the budget — ``epoch_loss < 0`` is False for NaN, so a
+        naive range check would let NaN flow into GIB construction. Such
+        epochs clamp to the all-RS floor (budget 0, BSP-safe) and leave
+        ``L`` untouched.
+        """
+        if not math.isfinite(epoch_loss):
+            return 0.0
         if epoch_loss < 0:
             raise ValueError(f"loss must be >= 0, got {epoch_loss}")
         if self._initial_loss is None:

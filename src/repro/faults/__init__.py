@@ -1,0 +1,35 @@
+"""Fault injection: scheduled network/worker faults + PS-side resilience.
+
+See :mod:`repro.faults.schedule` for the event taxonomy and
+:mod:`repro.faults.injector` for how events are replayed against a live
+simulation. PS-side resilience (degraded RS quorum, §4.3 BSP fallback)
+lives in :class:`repro.simcore.resources.QuorumBarrier` and
+:class:`repro.core.osp.OSP`.
+"""
+
+from repro.faults.injector import FLAP_RESIDUAL, FaultInjector
+from repro.faults.schedule import (
+    BandwidthDip,
+    EVENT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    LinkFlap,
+    LossBurst,
+    StragglerSlowdown,
+    WorkerCrash,
+    parse_faults,
+)
+
+__all__ = [
+    "BandwidthDip",
+    "EVENT_KINDS",
+    "FLAP_RESIDUAL",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "LinkFlap",
+    "LossBurst",
+    "StragglerSlowdown",
+    "WorkerCrash",
+    "parse_faults",
+]

@@ -1,0 +1,120 @@
+"""Replays a :class:`~repro.faults.schedule.FaultSchedule` against a run.
+
+The injector bridges the declarative schedule and the live simulation:
+
+* network events become simcore processes that toggle multiplicative fault
+  state on the targeted :class:`~repro.netsim.links.Link` objects and ask
+  the :class:`~repro.netsim.network.Network` to re-run fair sharing;
+* crashes register with the :class:`~repro.cluster.context.TrainerContext`
+  failure schedule (the worker loop consults it at epoch boundaries);
+* straggler windows are answered on demand via :meth:`compute_factor`,
+  which the context multiplies into each iteration's compute time.
+
+Every fired fault increments a ``faults.*`` counter on the run's
+:class:`~repro.metrics.recorder.Recorder`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.cluster.context import TrainerContext
+
+from repro.faults.schedule import (
+    BandwidthDip,
+    FaultSchedule,
+    LinkFlap,
+    LossBurst,
+    StragglerSlowdown,
+)
+from repro.netsim.links import Link
+from repro.netsim.topology import StarTopology
+
+#: Residual bandwidth factor for a flapped ("down") link. Not exactly zero:
+#: max–min fair sharing needs positive capacities, and a crawling link is
+#: the fluid-model analogue of TCP timeouts on a dead path.
+FLAP_RESIDUAL = 1e-6
+
+
+class FaultInjector:
+    """Drives one schedule against one trainer context."""
+
+    def __init__(self, ctx: "TrainerContext", schedule: FaultSchedule) -> None:
+        self.ctx = ctx
+        self.schedule = schedule
+        self._started = False
+
+    def start(self) -> None:
+        """Register crashes and spawn the window processes (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for crash in self.schedule.crash_events:
+            self.ctx.schedule_failure(
+                crash.worker, crash.before_epoch, restart_epoch=crash.restart_epoch
+            )
+        for ev in self.schedule.network_events:
+            self.ctx.env.process(self._network_window(ev))
+        for ev in self.schedule.straggler_events:
+            self.ctx.env.process(self._straggler_window(ev))
+
+    # -- worker-side ---------------------------------------------------------
+    def compute_factor(self, worker: int, now: float) -> float:
+        """Product of active straggler factors for ``worker`` at ``now``."""
+        factor = 1.0
+        for ev in self.schedule.straggler_events:
+            if ev.worker == worker and ev.start <= now < ev.start + ev.duration:
+                factor *= ev.factor
+        return factor
+
+    # -- network-side --------------------------------------------------------
+    def _fault_args(self, ev) -> dict:
+        if isinstance(ev, LossBurst):
+            return {"extra_loss": ev.loss_rate}
+        if isinstance(ev, BandwidthDip):
+            return {"bandwidth_factor": ev.factor}
+        if isinstance(ev, LinkFlap):
+            return {"bandwidth_factor": FLAP_RESIDUAL}
+        raise TypeError(f"not a network fault: {ev!r}")  # pragma: no cover
+
+    def _links_for(self, nodes) -> list[Link]:
+        topo = self.ctx.network.topology
+        if nodes is None:
+            return list(topo.links)
+        if not isinstance(topo, StarTopology):
+            raise ValueError(
+                "node-targeted network faults require a StarTopology; "
+                "use nodes=None for fabric-wide faults"
+            )
+        links: list[Link] = []
+        for n in nodes:
+            if not (0 <= n < topo.n_nodes):
+                raise ValueError(f"fault targets unknown node {n}")
+            links.append(topo.uplinks[n])
+            links.append(topo.downlinks[n])
+        return links
+
+    def _network_window(self, ev):
+        links = self._links_for(ev.nodes)  # validate before time passes
+        args = self._fault_args(ev)
+        if ev.start > 0:
+            yield self.ctx.env.timeout(ev.start)
+        self.ctx.recorder.incr(f"faults.{ev.kind}")
+        for link in links:
+            link.apply_fault(**args)
+        self.ctx.network.refresh_capacities()
+        yield self.ctx.env.timeout(ev.duration)
+        for link in links:
+            link.clear_fault(**args)
+        self.ctx.network.refresh_capacities()
+
+    def _straggler_window(self, ev: StragglerSlowdown):
+        if ev.start > 0:
+            yield self.ctx.env.timeout(ev.start)
+        # The slowdown itself is applied via compute_factor(); this process
+        # only stamps the counter at window start.
+        self.ctx.recorder.incr("faults.straggler")
+
+
+__all__ = ["FLAP_RESIDUAL", "FaultInjector"]

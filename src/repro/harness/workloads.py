@@ -8,6 +8,7 @@ from typing import Optional
 from repro.cluster.engines import NumericEngine, TimingEngine
 from repro.cluster.spec import ClusterSpec, TrainingPlan
 from repro.cluster.trainer import DistributedTrainer
+from repro.faults.schedule import FaultSchedule
 from repro.data.dataset import Dataset, train_test_split
 from repro.data.synthetic_images import make_image_classification
 from repro.data.synthetic_qa import make_extractive_qa
@@ -40,6 +41,7 @@ class WorkloadConfig:
     seed: int = 0
     colocated_ps: bool = False
     n_ps: int = 1
+    faults: Optional[FaultSchedule] = None
 
     @property
     def card(self) -> ModelCard:
@@ -56,6 +58,7 @@ def _spec(cfg: WorkloadConfig) -> ClusterSpec:
         jitter=LognormalJitter(sigma=cfg.sigma, seed=cfg.seed),
         colocated_ps=cfg.colocated_ps,
         n_ps=cfg.n_ps,
+        faults=cfg.faults,
     )
 
 

@@ -18,6 +18,7 @@ def recorder_to_dict(recorder: Recorder) -> dict:
     return {
         "iterations": [vars(r).copy() for r in recorder.iterations],
         "epochs": [vars(r).copy() for r in recorder.epochs],
+        "counters": dict(recorder.counters),
         "summary": {
             "throughput": recorder.throughput(),
             "mean_bst": recorder.mean_bst(),
@@ -37,6 +38,8 @@ def recorder_from_dict(payload: dict) -> Recorder:
         rec.record_iteration(IterationRecord(**d))
     for d in payload.get("epochs", []):
         rec.record_epoch(EpochRecord(**d))
+    for name, value in payload.get("counters", {}).items():
+        rec.incr(name, int(value))
     return rec
 
 

@@ -38,6 +38,9 @@ class Recorder:
 
     iterations: list[IterationRecord] = field(default_factory=list)
     epochs: list[EpochRecord] = field(default_factory=list)
+    #: Named event counters (``faults.*`` fault injections, ``osp.*``
+    #: degradation events). Plain ints, absent until first incremented.
+    counters: dict[str, int] = field(default_factory=dict)
 
     # -- recording ---------------------------------------------------------
     def record_iteration(self, rec: IterationRecord) -> None:
@@ -45,6 +48,14 @@ class Recorder:
 
     def record_epoch(self, rec: EpochRecord) -> None:
         self.epochs.append(rec)
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Bump a named event counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        """Current value of a named counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
 
     # -- summaries ----------------------------------------------------------
     @property

@@ -55,11 +55,49 @@ class Link:
     spec: LinkSpec
     bytes_carried: float = field(default=0.0, init=False)
     busy_time: float = field(default=0.0, init=False)
+    #: Multiplicative fault state (see :meth:`apply_fault`). Factors rather
+    #: than absolute values so overlapping faults compose and revert exactly.
+    bandwidth_factor: float = field(default=1.0, init=False)
+    keep_factor: float = field(default=1.0, init=False)
 
     @property
     def bandwidth(self) -> float:
-        """Capacity in bytes/second."""
-        return self.spec.bandwidth
+        """Effective capacity in bytes/second (spec × active fault factors)."""
+        return self.spec.bandwidth * self.bandwidth_factor
+
+    @property
+    def loss_rate(self) -> float:
+        """Effective loss rate: spec loss compounded with fault bursts."""
+        return 1.0 - (1.0 - self.spec.loss_rate) * self.keep_factor
+
+    def apply_fault(self, bandwidth_factor: float = 1.0, extra_loss: float = 0.0) -> None:
+        """Overlay a fault on this link.
+
+        ``bandwidth_factor`` scales capacity (0 < f; < 1 is a dip);
+        ``extra_loss`` compounds with the spec loss as independent drop
+        probabilities. Faults stack multiplicatively, so nested windows
+        revert cleanly via :meth:`clear_fault` with the same arguments.
+        """
+        if bandwidth_factor <= 0:
+            raise ValueError(f"bandwidth_factor must be positive, got {bandwidth_factor}")
+        if not (0.0 <= extra_loss < 1.0):
+            raise ValueError(f"extra_loss must be in [0,1), got {extra_loss}")
+        self.bandwidth_factor *= bandwidth_factor
+        self.keep_factor *= 1.0 - extra_loss
+
+    def clear_fault(self, bandwidth_factor: float = 1.0, extra_loss: float = 0.0) -> None:
+        """Undo a previous :meth:`apply_fault` with identical arguments."""
+        if bandwidth_factor <= 0:
+            raise ValueError(f"bandwidth_factor must be positive, got {bandwidth_factor}")
+        if not (0.0 <= extra_loss < 1.0):
+            raise ValueError(f"extra_loss must be in [0,1), got {extra_loss}")
+        self.bandwidth_factor /= bandwidth_factor
+        self.keep_factor /= 1.0 - extra_loss
+        # Snap float drift so a fully-reverted link is bit-exact again.
+        if abs(self.bandwidth_factor - 1.0) < 1e-12:
+            self.bandwidth_factor = 1.0
+        if abs(self.keep_factor - 1.0) < 1e-12:
+            self.keep_factor = 1.0
 
     def utilization(self, elapsed: float) -> float:
         """Average utilisation over ``elapsed`` seconds of simulated time."""

@@ -122,6 +122,20 @@ class Network:
         link = self._links_by_name[name]
         return link.utilization(self.env.now)
 
+    def refresh_capacities(self) -> None:
+        """Re-read link bandwidths after a fault changed them.
+
+        Drains active flows at their old rates up to *now*, rebuilds the
+        capacity map from the links' effective bandwidths, and re-runs the
+        fair-share allocation — so a bandwidth dip/flap immediately slows
+        (or a clear immediately speeds up) in-flight transfers. Loss-rate
+        changes, by contrast, only affect flows started after the change:
+        retransmission inflation is sampled at flow start.
+        """
+        self._drain()
+        self._capacities = {l.name: l.bandwidth for l in self.topology.links}
+        self._rerate()
+
     # ------------------------------------------------------------ internals
     def _drain(self) -> None:
         """Advance all active flows to the current instant."""

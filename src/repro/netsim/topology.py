@@ -75,10 +75,14 @@ class StarTopology:
         return sum(l.spec.latency for l in self.route(src, dst))
 
     def route_loss(self, src: int, dst: int) -> float:
-        """Combined loss rate of the route: 1 − Π(1 − p_link)."""
+        """Combined loss rate of the route: 1 − Π(1 − p_link).
+
+        Uses the links' *effective* loss (spec loss compounded with any
+        active fault bursts), sampled at flow-start time.
+        """
         keep = 1.0
         for l in self.route(src, dst):
-            keep *= 1.0 - l.spec.loss_rate
+            keep *= 1.0 - l.loss_rate
         return 1.0 - keep
 
     def _check(self, nid: int) -> None:
@@ -165,10 +169,10 @@ class GraphTopology:
         return sum(l.spec.latency for l in self.route(src, dst))
 
     def route_loss(self, src, dst) -> float:
-        """Combined route loss rate."""
+        """Combined route loss rate (effective, fault-aware)."""
         keep = 1.0
         for l in self.route(src, dst):
-            keep *= 1.0 - l.spec.loss_rate
+            keep *= 1.0 - l.loss_rate
         return 1.0 - keep
 
 

@@ -33,7 +33,7 @@ from repro.simcore.events import (
 )
 from repro.simcore.environment import Environment, SimulationError
 from repro.simcore.process import Process
-from repro.simcore.resources import Barrier, Resource, Store
+from repro.simcore.resources import Barrier, QuorumBarrier, Resource, Store
 from repro.simcore.priority import URGENT, NORMAL, LOW
 
 __all__ = [
@@ -45,6 +45,7 @@ __all__ = [
     "EventAlreadyTriggered",
     "Interrupt",
     "Process",
+    "QuorumBarrier",
     "Resource",
     "SimulationError",
     "Store",

@@ -63,10 +63,20 @@ class SyncModel:
     def worker_process(self, ctx: TrainerContext, worker: int):
         """The per-worker simcore process driving training."""
         ipe = ctx.iterations_per_epoch
+        resume_at = -1
         for epoch in range(ctx.plan.n_epochs):
             if ctx.should_fail(worker, epoch):
-                ctx.retire_worker(worker)
-                return
+                restart = ctx.retire_worker(worker)
+                if restart is None or restart >= ctx.plan.n_epochs:
+                    return  # permanent crash: no finalize, in-flight state is lost
+                # Crash/restart cycle: sit out until the survivors finish
+                # epoch restart−1, re-sync the replica, rejoin at `restart`.
+                yield ctx.epoch_completion(restart - 1)
+                if not ctx.revive_worker(worker):
+                    return  # the run ended (early stop) while we were down
+                resume_at = restart
+            if epoch < resume_at:
+                continue
             if ctx.skip_epoch(epoch):
                 break
             for batch in range(ipe):

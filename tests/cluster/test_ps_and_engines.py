@@ -127,6 +127,30 @@ def test_ps_last_aggregated_tracks_full_gradient():
     assert set(ps.last_aggregated) == set(ps.param_names())
 
 
+def test_ps_last_aggregated_consistent_across_apply_paths():
+    """Regression: apply_immediate used to leave last_aggregated untouched,
+    so PGP importance computed from it went stale under ASP-style updates.
+    Both paths must record exactly what was applied, on the same scale."""
+    name = "net.m0.weight"
+
+    model, ps = make_ps(2, weights=[3.0, 1.0])
+    shape = dict(model.named_parameters())[name].data.shape
+    ps.accumulate("b", 0, {name: np.ones(shape)})
+    ps.accumulate("b", 1, {name: -np.ones(shape)})
+    ps.apply_average("b")
+    # weighted average: 0.75*1 + 0.25*(-1) = 0.5
+    assert np.allclose(ps.last_aggregated[name], 0.5)
+
+    model2, ps2 = make_ps(2, weights=[3.0, 1.0])
+    before = ps2.snapshot([name])[name]
+    ps2.apply_immediate(0, {name: np.ones(shape)})
+    # the applied (weight-scaled) gradient, not the raw push
+    assert np.allclose(ps2.last_aggregated[name], 0.75)
+    # and it matches what actually moved the model (lr=1)
+    after = ps2.snapshot([name])[name]
+    assert np.allclose(before - after, ps2.last_aggregated[name])
+
+
 # ---------------------------------------------------------------- engines
 def test_timing_engine_layer_bytes_sum_to_model():
     spec = ClusterSpec(n_workers=2)

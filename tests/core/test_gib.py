@@ -55,6 +55,56 @@ def test_gib_unpack_short_payload_raises():
         GIB.unpack(b"", ("a", "b"))
 
 
+def test_gib_unpack_oversized_payload_raises():
+    """A payload longer than ceil(n/8) used to be silently accepted
+    (extra bytes dropped on the floor); it must now be rejected."""
+    layers = ("a", "b", "c")
+    payload = GIB.all_important(layers).pack()
+    with pytest.raises(ValueError):
+        GIB.unpack(payload + b"\x00", layers)
+
+
+def test_gib_unpack_nonzero_padding_raises():
+    """Padding bits past the layer count must be zero — a corrupted wire
+    payload with stray bits used to decode to a valid-looking bitmap."""
+    layers = ("a", "b", "c")
+    payload = bytes([0b11111111])  # low 5 bits are padding and must be 0
+    with pytest.raises(ValueError, match="padding"):
+        GIB.unpack(payload, layers)
+    # the clean payload for the same bitmap (packbits is MSB-first) decodes
+    assert GIB.unpack(bytes([0b11100000]), layers).n_important == 3
+
+
+def test_from_importance_explicit_layer_order():
+    """`layers` pins the bitmap's layer order (the wire order both ends
+    must agree on), independent of dict insertion order."""
+    importance = {"b": 2.0, "a": 1.0}
+    sizes = {"b": 10, "a": 10}
+    by_insertion = GIB.from_importance(importance, sizes, 10)
+    assert by_insertion.layers == ("b", "a")
+    pinned = GIB.from_importance(importance, sizes, 10, layers=("a", "b"))
+    assert pinned.layers == ("a", "b")
+    # same split decision either way, only the wire order differs
+    assert set(pinned.important_layers) == set(by_insertion.important_layers)
+    assert GIB.unpack(pinned.pack(), ("a", "b")) == pinned
+
+
+def test_from_importance_layers_must_match_importance_keys():
+    importance = {"a": 1.0, "b": 2.0}
+    sizes = {"a": 1, "b": 1}
+    with pytest.raises(ValueError):
+        GIB.from_importance(importance, sizes, 0, layers=("a",))
+    with pytest.raises(ValueError):
+        GIB.from_importance(importance, sizes, 0, layers=("a", "c"))
+    with pytest.raises(ValueError):
+        GIB.from_importance(importance, sizes, 0, layers=("a", "a"))
+
+
+def test_from_importance_nan_budget_raises():
+    with pytest.raises(ValueError):
+        GIB.from_importance({"a": 1.0}, {"a": 1}, float("nan"))
+
+
 def test_from_importance_zero_budget_all_important():
     gib = GIB.from_importance({"a": 1.0, "b": 2.0}, {"a": 10, "b": 10}, 0.0)
     assert gib.n_important == 2

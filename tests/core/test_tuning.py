@@ -105,6 +105,34 @@ def test_tuner_validation():
         t.budget(-0.1)
 
 
+def test_tuner_nan_loss_defers_nothing_and_leaves_ramp_state():
+    """A diverged/overflowed epoch loss (NaN or inf) must fall back to the
+    all-RS floor, not poison initial_loss or propagate NaN into Eq. 5."""
+    t = SGuTuner(u_max=100.0)
+    assert t.budget(float("nan")) == 0.0
+    assert t.initial_loss is None  # NaN never becomes the ramp baseline
+    t.budget(2.0)
+    assert t.budget(float("nan")) == 0.0
+    assert t.budget(float("inf")) == 0.0
+    assert t.initial_loss == 2.0  # ramp state untouched by the bad epochs
+    assert t.budget(1.0) == pytest.approx(50.0)  # ramp resumes where it was
+
+
+def test_tuner_rejects_non_finite_umax():
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(ValueError):
+            SGuTuner(u_max=bad)
+
+
+def test_umax_rejects_non_finite_inputs():
+    with pytest.raises(ValueError):
+        ics_upper_bound(float("nan"), 0.0, 1.0, 4, 1e12)
+    with pytest.raises(ValueError):
+        ics_upper_bound(1e9, 0.0, float("inf"), 4, 1e12)
+    with pytest.raises(ValueError):
+        ics_upper_bound(1e9, 0.0, 1.0, 4, float("nan"))
+
+
 def test_tuner_monotone_budget_for_monotone_loss():
     t = SGuTuner(u_max=100.0)
     t.budget(2.0)
