@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full faults examples clean
+.PHONY: install test bench bench-full faults trace examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -18,6 +18,18 @@ bench-full:
 faults:
 	pytest tests/cluster/test_faults.py -q
 	pytest benchmarks/bench_fault_robustness.py --benchmark-only -s
+
+# Observability smoke: run a traced OSP workload, validate the unified
+# trace's schema, and render the overlap report from the file.
+trace:
+	PYTHONPATH=src python -m repro run --sync osp --workers 4 --epochs 8 --trace trace.json
+	PYTHONPATH=src python -c "import json; from repro.obs import read_trace; \
+	  evs = read_trace('trace.json')['traceEvents']; \
+	  assert evs, 'no events'; \
+	  assert all({'name','ph','ts','pid','tid'} <= set(e) for e in evs), 'missing required fields'; \
+	  assert {'X','C','i'} <= {e['ph'] for e in evs}, 'missing a stream'; \
+	  print(f'trace.json OK: {len(evs)} events')"
+	PYTHONPATH=src python -m repro report trace.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done

@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``      one (workload, sync model) training simulation
+``report``   overlap/BST report from a trace.json or recorder.json
 ``compare``  all four paper sync models on one workload
 ``figures``  list the figure-regeneration benchmarks
 ``cards``    list the model cards (paper-scale workload descriptions)
@@ -89,16 +90,25 @@ _HEADERS = ["sync", "samples/s", "BST (ms)", "BCT (ms)", "best metric", "virtual
 
 def cmd_run(args) -> int:
     trainer = _build_trainer(args, args.sync)
+    if args.trace:
+        trainer.enable_tracing()
     res = trainer.run()
     if args.trace:
-        from repro.netsim.trace import write_chrome_trace
+        from repro.obs.chrome import write_unified_trace
 
-        n = write_chrome_trace(
-            args.trace, trainer.network.records, res.recorder.iterations
+        n = write_unified_trace(
+            args.trace,
+            tracer=res.tracer,
+            flow_records=trainer.network.records,
+            iteration_records=res.recorder.iterations,
+            recorder=res.recorder,
+            sync_name=res.sync_name,
         )
         print(f"wrote {n} trace events to {args.trace} "
-              "(open in chrome://tracing or Perfetto)")
+              "(open in chrome://tracing or Perfetto; "
+              f"analyse with `repro report {args.trace}`)")
     if args.json:
+        rec = res.recorder
         print(
             json.dumps(
                 {
@@ -108,17 +118,47 @@ def cmd_run(args) -> int:
                     "throughput": res.throughput,
                     "mean_bst": res.mean_bst,
                     "mean_bct": res.mean_bct,
+                    "bst_p50": rec.bst_percentile(50),
+                    "bst_p90": rec.bst_percentile(90),
+                    "bst_p99": rec.bst_percentile(99),
+                    "communication_share": rec.communication_share(),
                     "best_metric": res.best_metric,
                     "wall_time": res.wall_time,
                     "iteration_end_time": res.iteration_end_time,
-                    "iterations": res.recorder.total_iterations,
-                    "counters": res.recorder.counters,
-                    "tta": res.recorder.time_to_accuracy(),
+                    "iterations": rec.total_iterations,
+                    "counters": rec.counters,
+                    "tta": rec.time_to_accuracy(),
                 }
             )
         )
     else:
         print(format_table(_HEADERS, [_result_row(res)], title=args.workload))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.overlap import (
+        overlap_report_from_recorder,
+        overlap_report_from_trace,
+    )
+
+    payload = json.loads(Path(args.file).read_text())
+    if isinstance(payload, list) or "traceEvents" in payload:
+        if isinstance(payload, list):  # legacy bare event array
+            payload = {"traceEvents": payload}
+        report = overlap_report_from_trace(payload)
+    else:
+        from repro.metrics.export import recorder_from_dict
+
+        report = overlap_report_from_recorder(
+            recorder_from_dict(payload), sync_name="recorder"
+        )
+    if args.json:
+        print(json.dumps(report.to_dict()))
+    else:
+        print(report.render())
     return 0
 
 
@@ -212,6 +252,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", help="write a Chrome-tracing timeline JSON"
     )
     p_run.set_defaults(fn=cmd_run)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="overlap/BST report from a trace.json or recorder.json",
+    )
+    p_rep.add_argument("file", help="unified trace JSON or saved recorder JSON")
+    p_rep.add_argument("--json", action="store_true", help="emit JSON")
+    p_rep.set_defaults(fn=cmd_report)
 
     p_cmp = sub.add_parser("compare", help="compare the four paper sync models")
     add_common(p_cmp)

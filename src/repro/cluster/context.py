@@ -15,6 +15,7 @@ from repro.cluster.ps import ParameterServer
 from repro.cluster.spec import ClusterSpec, TrainingPlan
 from repro.metrics.recorder import EpochRecord, IterationRecord, Recorder
 from repro.netsim.network import Network
+from repro.obs.tracer import NULL_TRACER
 from repro.simcore.environment import Environment
 from repro.simcore.events import Event
 from repro.simcore.resources import Barrier, QuorumBarrier, Resource
@@ -67,6 +68,13 @@ class TrainerContext:
         )
         #: hooks the active sync model can register
         self.epoch_end_hooks: list = []
+
+    # -- observability --------------------------------------------------------
+    @property
+    def trace(self):
+        """The run's tracer, or the shared no-op tracer when disabled —
+        call sites never need a None check."""
+        return self.env.tracer or NULL_TRACER
 
     # -- lifecycle ------------------------------------------------------------
     @property
@@ -129,6 +137,9 @@ class TrainerContext:
         if worker in self._alive:
             self._alive.discard(worker)
             self.recorder.incr("faults.worker_crash")
+            self.trace.instant(
+                "faults.worker_crash", actor="faults", track="faults", worker=worker
+            )
         # Consume the schedule entry so a restarted worker does not re-crash.
         self._failure_schedule.pop(worker, None)
         if self._alive:
@@ -148,6 +159,9 @@ class TrainerContext:
             return False
         self._alive.add(worker)
         self.recorder.incr("faults.worker_restart")
+        self.trace.instant(
+            "faults.worker_restart", actor="faults", track="faults", worker=worker
+        )
         for barrier in self._quorum_barriers:
             barrier.set_parties(len(self._alive))
         self.engine.sync_replica(worker, self.ps)
@@ -240,8 +254,12 @@ class TrainerContext:
             base *= self.faults.compute_factor(worker, self.env.now)
         t_c = self.spec.jitter.sample(base, worker, iteration)
         t_start = self.env.now
+        span = self.trace.begin(
+            "compute", f"worker {worker}", worker=worker, iteration=iteration
+        )
         yield self.env.timeout(t_c)
         grads, loss, samples = self.engine.compute(worker, epoch, batch)
+        self.trace.end(span, loss=loss)
         self._epoch_losses.setdefault(epoch, []).append(loss)
         return grads, loss, samples, t_c, t_start
 

@@ -40,6 +40,16 @@ class Engine:
     card: ModelCard
     splitter: GradientSplitter
     layer_bytes: dict[str, int]
+    #: Optional :class:`repro.obs.Tracer` (set by the trainer when tracing
+    #: is enabled); evaluations become PS-track instants.
+    tracer = None
+
+    def _trace_eval(self, metric: float, iterations_done: int) -> None:
+        if self.tracer:
+            self.tracer.instant(
+                "eval", actor="ps", track="ps",
+                metric=metric, iterations_done=iterations_done,
+            )
 
     # -- sizes -------------------------------------------------------------
     @property
@@ -229,9 +239,12 @@ class NumericEngine(Engine):
         y = self.test.targets[:n]
         with no_grad():
             if self.card.task == "classification":
-                return accuracy(self._eval_model(x), y)
-            s_logits, e_logits = self._eval_model(x)
-            return qa_span_accuracy(s_logits, e_logits, y[:, 0], y[:, 1])
+                metric = accuracy(self._eval_model(x), y)
+            else:
+                s_logits, e_logits = self._eval_model(x)
+                metric = qa_span_accuracy(s_logits, e_logits, y[:, 0], y[:, 1])
+        self._trace_eval(metric, iterations_done)
+        return metric
 
     def ps_layer_importance(self, ps: ParameterServer) -> dict[str, float]:
         grads = ps.last_aggregated
@@ -327,7 +340,9 @@ class TimingEngine(Engine):
 
     def evaluate(self, ps: ParameterServer, iterations_done: int) -> float:
         per_worker = iterations_done / max(1, self.spec.n_workers)
-        return self.max_metric * (1.0 - math.exp(-per_worker / self.tau))
+        metric = self.max_metric * (1.0 - math.exp(-per_worker / self.tau))
+        self._trace_eval(metric, iterations_done)
+        return metric
 
     def ps_layer_importance(self, ps: ParameterServer) -> dict[str, float]:
         return dict(self._importance)

@@ -56,6 +56,9 @@ class ParameterServer:
             self.worker_weights = w / w.sum()
         self._params = dict(model.named_parameters()) if model is not None else {}
         self._buffers: dict[str, dict[int, Mapping[str, np.ndarray]]] = {}
+        #: Optional :class:`repro.obs.Tracer` (set by the trainer when
+        #: tracing is enabled); apply events become PS-track spans.
+        self.tracer = None
         #: bumps on every applied update; workers compare versions to detect
         #: staleness (diagnostics).
         self.version = 0
@@ -104,6 +107,7 @@ class ParameterServer:
                 self.optimizer.step_with_grads(avg)
                 self.last_aggregated.update({n: g for n, g in avg.items()})
         self.version += 1
+        self._trace_apply(bucket, len(buf))
 
     def apply_immediate(
         self, worker: int, grads: Optional[Mapping[str, np.ndarray]]
@@ -120,6 +124,19 @@ class ParameterServer:
             # gradients whichever path produced them.
             self.last_aggregated.update(scaled)
         self.version += 1
+        self._trace_apply(f"immediate:{worker}", 1)
+
+    def _trace_apply(self, bucket: str, deposits: int) -> None:
+        """Emit a zero-duration ``ps_apply`` span + version gauge when
+        tracing is enabled (virtual time does not pass inside an apply)."""
+        tr = self.tracer
+        if tr:
+            span = tr.begin(
+                "ps_apply", "ps", track="ps", cat="ps",
+                bucket=bucket, deposits=deposits,
+            )
+            tr.end(span)
+            tr.gauge("obs.ps.version", self.version)
 
     # -- parameter access --------------------------------------------------------
     def snapshot(self, names: Optional[Sequence[str]] = None) -> dict[str, np.ndarray]:

@@ -31,6 +31,8 @@ class TrainingResult:
     wall_time: float  # virtual seconds of the whole run, drain included
     context: TrainerContext
     iteration_end_time: float = 0.0  # when the last *iteration* finished
+    #: populated when the trainer ran with :meth:`DistributedTrainer.enable_tracing`
+    tracer: object = None
 
     @property
     def throughput(self) -> float:
@@ -121,6 +123,21 @@ class DistributedTrainer:
             self.ctx.faults = self.injector
             self.injector.start()
 
+    def enable_tracing(self):
+        """Attach a :class:`repro.obs.Tracer` to every traced component.
+
+        Must be called before :meth:`run`. The tracer is strictly passive
+        (it never schedules simulation events), so a traced run's virtual
+        timeline is identical to an untraced one. Returns the tracer.
+        """
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer(self.env)
+        self.env.tracer = tracer
+        self.ps.tracer = tracer
+        self.engine.tracer = tracer
+        return tracer
+
     def run(self) -> TrainingResult:
         """Execute the simulation to completion and collect results."""
         self.sync_model.setup(self.ctx)
@@ -142,6 +159,7 @@ class DistributedTrainer:
             wall_time=self.env.now,
             context=self.ctx,
             iteration_end_time=self.recorder.end_time(),
+            tracer=self.env.tracer,
         )
 
 

@@ -149,6 +149,8 @@ class OSP(SyncModel):
         else:
             self._budget = 0.0  # Algorithm 1: S(G^u)_1 = 0
 
+        ctx.trace.gauge("osp.sgu_budget", self._budget)
+
         if self.force == "bsp":
             self._gib = GIB.all_important(layers)
         elif self.force == "asp":
@@ -186,6 +188,7 @@ class OSP(SyncModel):
             return
         if self.fixed_budget_fraction is None:
             self._budget = self._tuner.budget(train_loss)
+            ctx.trace.gauge("osp.sgu_budget", self._budget)
         # Recompute the bitmap now that the budget (or importance) moved —
         # this is also what bootstraps the first non-empty ICS (until then
         # the GIB is all-important and no ICS round ever completes to
@@ -213,6 +216,8 @@ class OSP(SyncModel):
 
     # ------------------------------------------------------ synchronization
     def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
+        trace = ctx.trace
+        actor = f"worker {worker}"
         # (1) our previous ICS push must have left the uplink. Having to
         # wait here means the ICS blew its Eq. 5 deadline (the budget no
         # longer fits inside T_c — loss burst, bandwidth dip, ...).
@@ -221,13 +226,27 @@ class OSP(SyncModel):
             if not self._round_blown.get(iteration):
                 self._round_blown[iteration] = True
                 ctx.recorder.incr("osp.deadline_miss")
+                trace.instant(
+                    "osp.deadline_miss", actor="faults", track="faults",
+                    worker=worker, iteration=iteration,
+                )
+            stall = trace.begin(
+                "ics_stall", actor, worker=worker, iteration=iteration
+            )
             yield prev_push
+            trace.end(stall)
 
         gib = self._gib  # capture: one bitmap per iteration, all stages
         imp_layers = gib.important_layers
         unimp_layers = gib.unimportant_layers
         imp_bytes = ctx.engine.bytes_of_layers(imp_layers)
         unimp_bytes = ctx.engine.bytes_of_layers(unimp_layers)
+        if trace:
+            layer_bytes = ctx.engine.layer_bytes
+            for l in imp_layers:  # push + pull both move these layers
+                trace.add_traffic("rs", l, 2 * layer_bytes[l])
+            for l in unimp_layers:
+                trace.add_traffic("ics", l, 2 * layer_bytes[l])
 
         if grads is not None:
             g_imp, g_unimp = self.splitter.split(grads, gib)
@@ -238,29 +257,45 @@ class OSP(SyncModel):
         # full quorum, a degraded quorum (timeout) or a shrunk one (crash) —
         # by the first worker released, so whatever deposits are present get
         # the reweighted average instead of the round hanging on the dead.
+        span = trace.begin(
+            "rs_push", actor, worker=worker, iteration=iteration, bytes=imp_bytes
+        )
         yield ctx.transfer_to_ps(worker, imp_bytes, tag=("rs-push", worker, iteration))
+        trace.end(span)
         bucket = f"rs:{iteration}"
         ctx.ps.accumulate(bucket, worker, g_imp)
+        span = trace.begin(
+            "rs_barrier_wait", actor, worker=worker, iteration=iteration
+        )
         generation = yield self._barrier.wait()
+        trace.end(span)
         if generation != self._last_round_gen:
             self._last_round_gen = generation
             self._close_rs_round(ctx, iteration, bucket)
 
         # (3) RS pull: updated important parameters.
+        span = trace.begin(
+            "rs_pull", actor, worker=worker, iteration=iteration, bytes=imp_bytes
+        )
         yield ctx.transfer_from_ps(worker, imp_bytes, tag=("rs-pull", worker, iteration))
+        trace.end(span)
 
         # (4) LGP Eq. 6.
         corrector = self._correctors[worker]
         if ctx.ps.numeric:
-            imp_names = self.splitter.params_of(imp_layers)
-            snap = ctx.ps.snapshot(imp_names)
-            if corrector is not None:
-                corrector.apply_rs(snap, g_unimp or {}, lr=ctx.current_lr)
-            else:
-                # no-LGP ablation: adopt important params, leave the rest stale
-                replica = ctx.engine.worker_params(worker)
-                for name, value in snap.items():
-                    replica[name][...] = value
+            with trace.span(
+                "lgp_correction", actor, worker=worker, iteration=iteration, eq=6
+            ):
+                imp_names = self.splitter.params_of(imp_layers)
+                snap = ctx.ps.snapshot(imp_names)
+                if corrector is not None:
+                    corrector.apply_rs(snap, g_unimp or {}, lr=ctx.current_lr)
+                else:
+                    # no-LGP ablation: adopt important params, leave the
+                    # rest stale
+                    replica = ctx.engine.worker_params(worker)
+                    for name, value in snap.items():
+                        replica[name][...] = value
 
         # (5) ICS in the background (overlaps the next compute).
         if unimp_layers:
@@ -279,6 +314,7 @@ class OSP(SyncModel):
         apply-on-last-deposit scheme on the full-quorum path)."""
         n = ctx.ps.pending(bucket)
         self._ics_expected[iteration] = n
+        ctx.trace.gauge("osp.quorum_size", n)
         if n:
             if n < ctx.spec.n_workers:
                 ctx.recorder.incr("osp.degraded_quorum")
@@ -314,11 +350,22 @@ class OSP(SyncModel):
             self._consecutive_blown = 0
 
     def _ics_process(self, ctx, worker, iteration, g_unimp, unimp_layers, unimp_bytes):
+        trace = ctx.trace
+        # Separate timeline row per worker: the whole point of ICS is that
+        # these spans overlap the next iteration's compute span.
+        actor = f"worker {worker} (ics)"
+        trace.gauge_delta("osp.inflight_ics_bytes", unimp_bytes)
+        span = trace.begin(
+            "ics_push", actor, track="ics",
+            worker=worker, iteration=iteration, bytes=unimp_bytes,
+        )
         push = ctx.transfer_to_ps(
             worker, unimp_bytes, tag=("ics-push", worker, iteration)
         )
         self._ics_push_done[worker] = push
         yield push
+        trace.end(span)
+        trace.gauge_delta("osp.inflight_ics_bytes", -unimp_bytes)
 
         bucket = f"ics:{iteration}"
         # The RS round already fixed how many workers participate in this
@@ -340,19 +387,34 @@ class OSP(SyncModel):
             self._ics_ready.pop(iteration - 3, None)
             self._ics_expected.pop(iteration - 3, None)
 
+        span = trace.begin(
+            "ics_wait", actor, track="ics", worker=worker, iteration=iteration
+        )
         snapshot = yield ready
+        trace.end(span)
+        span = trace.begin(
+            "ics_pull", actor, track="ics",
+            worker=worker, iteration=iteration, bytes=unimp_bytes,
+        )
         yield ctx.transfer_from_ps(
             worker, unimp_bytes, tag=("ics-pull", worker, iteration)
         )
+        trace.end(span)
 
         # LGP Eq. 7, filtered by the *current* bitmap so layers promoted to
         # RS since are never overwritten with an older value.
         corrector = self._correctors[worker]
         if corrector is not None and ctx.ps.numeric and snapshot:
-            still_unimp = set(self.splitter.params_of(self._gib.unimportant_layers))
-            corrector.apply_ics(
-                {n: v for n, v in snapshot.items() if n in still_unimp}
-            )
+            with trace.span(
+                "lgp_correction", actor, track="ics",
+                worker=worker, iteration=iteration, eq=7,
+            ):
+                still_unimp = set(
+                    self.splitter.params_of(self._gib.unimportant_layers)
+                )
+                corrector.apply_ics(
+                    {n: v for n, v in snapshot.items() if n in still_unimp}
+                )
 
     def _ready(self, ctx, iteration):
         ev = self._ics_ready.get(iteration)
@@ -369,14 +431,21 @@ class OSP(SyncModel):
             # BSP fallback pins the bitmap; late ICS completions from
             # pre-fallback iterations must not stage a new one.
             return
-        importance = ctx.engine.ps_layer_importance(ctx.ps)
-        new_gib = GIB.from_importance(
-            importance,
-            ctx.engine.layer_bytes,
-            self._budget,
-            layers=self.splitter.layers,
-        )
+        trace = ctx.trace
+        with trace.span("pgp_compute", "ps", track="ps", cat="ps"):
+            importance = ctx.engine.ps_layer_importance(ctx.ps)
+            new_gib = GIB.from_importance(
+                importance,
+                ctx.engine.layer_bytes,
+                self._budget,
+                layers=self.splitter.layers,
+            )
         self._pending_gib = new_gib
+        trace.instant(
+            "gib_fetch", actor="ps", track="ps",
+            wire_bytes=new_gib.wire_bytes(),
+            unimportant_layers=len(new_gib.unimportant_layers),
+        )
         # Traffic accounting for the (tiny) bitmap broadcast (§4.1.2).
         for w in range(ctx.spec.n_workers):
             ctx.transfer_from_ps(w, new_gib.wire_bytes(), tag=("gib", w))

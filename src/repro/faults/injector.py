@@ -101,6 +101,14 @@ class FaultInjector:
         if ev.start > 0:
             yield self.ctx.env.timeout(ev.start)
         self.ctx.recorder.incr(f"faults.{ev.kind}")
+        trace = self.ctx.trace
+        trace.instant(
+            f"faults.{ev.kind}", actor="faults", track="faults",
+            nodes=list(ev.nodes) if ev.nodes is not None else "all", **args,
+        )
+        span = trace.begin(
+            f"faults.{ev.kind}", "faults", track="faults", cat="fault", **args
+        )
         for link in links:
             link.apply_fault(**args)
         self.ctx.network.refresh_capacities()
@@ -108,6 +116,7 @@ class FaultInjector:
         for link in links:
             link.clear_fault(**args)
         self.ctx.network.refresh_capacities()
+        trace.end(span)
 
     def _straggler_window(self, ev: StragglerSlowdown):
         if ev.start > 0:
@@ -115,6 +124,20 @@ class FaultInjector:
         # The slowdown itself is applied via compute_factor(); this process
         # only stamps the counter at window start.
         self.ctx.recorder.incr("faults.straggler")
+        trace = self.ctx.trace
+        trace.instant(
+            "faults.straggler", actor="faults", track="faults",
+            worker=ev.worker, factor=ev.factor,
+        )
+        if trace:
+            # Only traced runs pay for the window-end wakeup; untraced runs
+            # keep their exact event schedule (the slowdown needs no timer).
+            span = trace.begin(
+                "faults.straggler", "faults", track="faults", cat="fault",
+                worker=ev.worker, factor=ev.factor,
+            )
+            yield self.ctx.env.timeout(ev.duration)
+            trace.end(span)
 
 
 __all__ = ["FLAP_RESIDUAL", "FaultInjector"]

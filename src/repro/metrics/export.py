@@ -6,11 +6,41 @@ it for post-hoc analysis without re-running simulations.
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Union
 
 from repro.metrics.recorder import EpochRecord, IterationRecord, Recorder
+
+
+class ExportError(ValueError):
+    """A persisted payload does not match the recorder schema."""
+
+
+def _build_record(cls, payload: dict, where: str):
+    """Construct a record dataclass, naming any schema mismatch.
+
+    A hand-edited or version-skewed JSON file should fail with a message
+    that says *which* entry is wrong and *how*, not a bare ``TypeError``
+    from the dataclass constructor.
+    """
+    if not isinstance(payload, dict):
+        raise ExportError(
+            f"{where}: expected an object, got {type(payload).__name__}"
+        )
+    expected = {f.name for f in dataclasses.fields(cls)}
+    missing = sorted(expected - set(payload))
+    unknown = sorted(set(payload) - expected)
+    if missing or unknown:
+        parts = []
+        if missing:
+            parts.append(f"missing fields {missing}")
+        if unknown:
+            parts.append(f"unknown fields {unknown}")
+        raise ExportError(f"{where}: {'; '.join(parts)}")
+    return cls(**payload)
 
 
 def recorder_to_dict(recorder: Recorder) -> dict:
@@ -34,18 +64,22 @@ def recorder_to_dict(recorder: Recorder) -> dict:
 def recorder_from_dict(payload: dict) -> Recorder:
     """Inverse of :func:`recorder_to_dict` (summary is recomputed)."""
     rec = Recorder()
-    for d in payload.get("iterations", []):
-        rec.record_iteration(IterationRecord(**d))
-    for d in payload.get("epochs", []):
-        rec.record_epoch(EpochRecord(**d))
+    for i, d in enumerate(payload.get("iterations", [])):
+        rec.record_iteration(_build_record(IterationRecord, d, f"iterations[{i}]"))
+    for i, d in enumerate(payload.get("epochs", [])):
+        rec.record_epoch(_build_record(EpochRecord, d, f"epochs[{i}]"))
     for name, value in payload.get("counters", {}).items():
         rec.incr(name, int(value))
     return rec
 
 
 def save_recorder(recorder: Recorder, path: Union[str, Path]) -> None:
-    """Write a recorder to a JSON file."""
-    Path(path).write_text(json.dumps(recorder_to_dict(recorder)))
+    """Write a recorder to a JSON file (atomically: temp file + rename,
+    so a crash mid-write never leaves a truncated file behind)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(recorder_to_dict(recorder)))
+    os.replace(tmp, path)
 
 
 def load_recorder(path: Union[str, Path]) -> Recorder:
@@ -54,6 +88,7 @@ def load_recorder(path: Union[str, Path]) -> Recorder:
 
 
 __all__ = [
+    "ExportError",
     "load_recorder",
     "recorder_from_dict",
     "recorder_to_dict",

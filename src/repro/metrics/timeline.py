@@ -49,21 +49,27 @@ def render_timeline(
     lines = []
     for w in workers:
         row = [_IDLE] * width
-        for r in recs:
-            if r.worker != w or r.start_time >= horizon:
-                continue
+        mine = [r for r in recs if r.worker == w and r.start_time < horizon]
+        # Compute bars first: the 1-cell minimum that keeps short sync
+        # phases visible must never swallow an adjacent compute glyph, so
+        # sync is painted second and only into non-compute cells.
+        for r in mine:
             c0, c1 = span(r.start_time, min(horizon, r.start_time + r.compute_time))
             for i in range(c0, min(c1, width)):
                 row[i] = _COMPUTE
+        for r in mine:
             s0, s1 = span(
                 r.start_time + r.compute_time,
                 min(horizon, r.start_time + r.compute_time + r.sync_time),
             )
             for i in range(s0, min(s1, width)):
-                row[i] = _SYNC
+                if row[i] != _COMPUTE:
+                    row[i] = _SYNC
         lines.append(f"w{w:<2d} |{''.join(row)}|")
+    label = f"{horizon:.2f}"
+    pad = max(1, width - len(label) - 1)
     lines.append(
-        f"     0{' ' * (width - len(f'{horizon:.2f}') - 1)}{horizon:.2f}s   "
+        f"     0{' ' * pad}{label}s   "
         f"({_COMPUTE}=compute, {_SYNC}=sync, {_IDLE}=idle)"
     )
     return "\n".join(lines)

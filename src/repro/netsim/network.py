@@ -95,6 +95,10 @@ class Network:
 
         self._drain()
         self._active[fid] = flow
+        tr = self.env.tracer
+        if tr:
+            tr.gauge_delta("obs.net.inflight_bytes", flow.size)
+            tr.gauge_delta("obs.net.active_flows", 1)
         self._rerate()
         return done
 
@@ -158,8 +162,12 @@ class Network:
             finished = [
                 f for f in self._active.values() if f.remaining <= _BYTE_EPS
             ]
+            tr = self.env.tracer
             for flow in finished:
                 del self._active[flow.fid]
+                if tr:
+                    tr.gauge_delta("obs.net.inflight_bytes", -flow.size)
+                    tr.gauge_delta("obs.net.active_flows", -1)
                 self._finish(flow)
 
             self._timer_version += 1

@@ -19,10 +19,25 @@ from repro.netsim.flows import FlowRecord
 _US = 1e6
 
 
+def _tag_args(tag) -> dict:
+    """Structured attribution from the conventional flow-tag tuple
+    ``(phase, worker[, iteration])`` used by all sync models."""
+    if not (isinstance(tag, tuple) and tag and isinstance(tag[0], str)):
+        return {}
+    args: dict = {"phase": tag[0]}
+    if len(tag) > 1 and isinstance(tag[1], int):
+        args["worker"] = tag[1]
+    if len(tag) > 2 and isinstance(tag[2], int):
+        args["iteration"] = tag[2]
+    return args
+
+
 def flows_to_trace_events(records: Iterable[FlowRecord]) -> list[dict]:
     """One complete ('X') event per flow, on the source node's row."""
     events = []
     for r in records:
+        args = {"bytes": r.size, "src": str(r.src), "dst": str(r.dst)}
+        args.update(_tag_args(r.tag))
         events.append(
             {
                 "name": str(r.tag) if r.tag is not None else f"flow{r.fid}",
@@ -32,7 +47,7 @@ def flows_to_trace_events(records: Iterable[FlowRecord]) -> list[dict]:
                 "dur": max(1.0, r.duration * _US),
                 "pid": "network",
                 "tid": f"node {r.src} -> {r.dst}",
-                "args": {"bytes": r.size, "src": str(r.src), "dst": str(r.dst)},
+                "args": args,
             }
         )
     return events
@@ -78,6 +93,7 @@ def write_chrome_trace(
     events = flows_to_trace_events(flow_records) + iterations_to_trace_events(
         iteration_records
     )
+    events.sort(key=lambda e: (e["ts"], str(e.get("pid", "")), str(e.get("tid", ""))))
     Path(path).write_text(json.dumps({"traceEvents": events}))
     return len(events)
 

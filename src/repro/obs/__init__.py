@@ -1,0 +1,51 @@
+"""repro.obs — span-based tracing + phase-attribution observability.
+
+The measurement substrate for every performance claim in this repo:
+
+* :class:`Tracer` — hierarchical spans / instants / counter tracks /
+  histograms over virtual time (passive: never perturbs the simulation);
+* :mod:`repro.obs.registry` — the central counter/gauge/histogram name
+  registry (``osp.* / faults.* / obs.*``), lint-enforced;
+* :class:`OverlapReport` — hidden-sync ratio, exact BST decomposition and
+  per-layer RS/ICS traffic accounting (the quantitative form of the
+  paper's Figs. 1–3);
+* :func:`write_unified_trace` — one Perfetto-loadable Chrome trace with
+  spans + network flows + counter tracks + fault instants.
+
+See ``docs/observability.md`` for the span taxonomy and workflow.
+"""
+
+from repro.obs.chrome import read_trace, tracer_to_trace_events, write_unified_trace
+from repro.obs.overlap import (
+    OverlapReport,
+    overlap_report_from_run,
+    overlap_report_from_trace,
+)
+from repro.obs.registry import ALL_NAMES, COUNTERS, GAUGES, HISTOGRAMS
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Histogram,
+    Instant,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "ALL_NAMES",
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAMS",
+    "Histogram",
+    "Instant",
+    "NULL_TRACER",
+    "NullTracer",
+    "OverlapReport",
+    "Span",
+    "Tracer",
+    "overlap_report_from_run",
+    "overlap_report_from_trace",
+    "read_trace",
+    "tracer_to_trace_events",
+    "write_unified_trace",
+]

@@ -1,0 +1,138 @@
+"""Unified Chrome/Perfetto trace emission for traced runs.
+
+One ``repro run --trace out.json`` produces a single Trace-Event-Format
+file combining every observability stream:
+
+* tracer **spans** → complete (``X``) events, grouped by track (``pid``)
+  and actor (``tid``) so Perfetto shows one row per worker, one per
+  worker's ICS background lane, and one for the PS;
+* tracer **instants** (fault activations, GIB broadcasts) → ``i`` events;
+* tracer **counter tracks** (in-flight ICS bytes, S(G^u) budget, quorum
+  size, network backlog) → ``C`` events;
+* network **flow records** → ``X`` events on the ``network`` track (via
+  :mod:`repro.netsim.trace`), with structured phase/worker/iteration args.
+
+Machine-readable extras (per-layer traffic, recorder counters, the sync
+model name) ride along under the top-level ``otherData`` key, which the
+Trace Event Format reserves for exactly this and viewers ignore — so the
+same file feeds both Perfetto and ``repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.netsim.trace import flows_to_trace_events, iterations_to_trace_events
+from repro.obs.tracer import Tracer
+
+_US = 1e6
+
+
+def tracer_to_trace_events(tracer: Tracer) -> list[dict]:
+    """Convert a tracer's spans/instants/counters to trace events."""
+    events: list[dict] = []
+    horizon = tracer.now
+    for span in tracer.spans:
+        end = span.end if span.end is not None else horizon
+        args = {"sid": span.sid}
+        if span.parent is not None:
+            args["parent"] = span.parent
+        if span.worker is not None:
+            args["worker"] = span.worker
+        if span.iteration is not None:
+            args["iteration"] = span.iteration
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": max(1.0, (end - span.start) * _US),
+                "pid": span.track,
+                "tid": span.actor,
+                "args": args,
+            }
+        )
+    for inst in tracer.instants:
+        events.append(
+            {
+                "name": inst.name,
+                "cat": "instant",
+                "ph": "i",
+                "ts": inst.time * _US,
+                "pid": inst.track,
+                "tid": inst.actor or inst.track,
+                "s": "g",  # global scope: draw the marker across all tracks
+                "args": dict(inst.attrs),
+            }
+        )
+    for name, samples in tracer.counters.items():
+        short = name.rsplit(".", 1)[-1]
+        for t, value in samples:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "counter",
+                    "ph": "C",
+                    "ts": t * _US,
+                    "pid": "counters",
+                    "tid": name,
+                    "args": {short: value},
+                }
+            )
+    return events
+
+
+def read_trace(path: Union[str, Path]) -> dict:
+    """Load a trace file, normalising the bare-array JSON variant."""
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, list):  # legacy bare event array form
+        payload = {"traceEvents": payload}
+    if "traceEvents" not in payload:
+        raise ValueError(f"{path} is not a Chrome trace (no 'traceEvents' key)")
+    return payload
+
+
+def write_unified_trace(
+    path: Union[str, Path],
+    tracer: Optional[Tracer] = None,
+    flow_records: Iterable = (),
+    iteration_records: Iterable = (),
+    recorder=None,
+    sync_name: Optional[str] = None,
+) -> int:
+    """Write one Perfetto-loadable file; returns the event count.
+
+    With a tracer, worker timelines come from its spans (hierarchical);
+    ``iteration_records`` is the fallback for untraced runs and is ignored
+    when a tracer is supplied (the spans subsume it).
+    """
+    events = list(flows_to_trace_events(flow_records))
+    if tracer is not None:
+        events += tracer_to_trace_events(tracer)
+    else:
+        events += iterations_to_trace_events(iteration_records)
+    events.sort(key=lambda e: (e["ts"], e.get("pid", ""), e.get("tid", "")))
+
+    other: dict = {}
+    if sync_name is not None:
+        other["sync"] = sync_name
+    if tracer is not None and tracer.traffic:
+        traffic: dict[str, dict[str, float]] = {}
+        for (stage, layer), nbytes in tracer.traffic.items():
+            traffic.setdefault(stage, {})[layer] = nbytes
+        other["traffic"] = traffic
+    if recorder is not None:
+        other["recorderCounters"] = dict(recorder.counters)
+
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if other:
+        payload["otherData"] = other
+    Path(path).write_text(json.dumps(payload))
+    return len(events)
+
+
+__all__ = ["read_trace", "tracer_to_trace_events", "write_unified_trace"]

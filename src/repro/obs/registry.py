@@ -1,0 +1,83 @@
+"""Central registry of observable-name conventions.
+
+Every ``recorder.incr(...)`` counter, tracer gauge (counter track) and
+tracer histogram must use a name declared here. Namespaces:
+
+* ``osp.*``    — OSP protocol events (degradations, deadline misses);
+* ``faults.*`` — injected fault activations;
+* ``obs.*``    — measurement-layer streams (network backlog, PS state,
+  sync-time distributions).
+
+A tier-1 lint test (``tests/obs/test_registry_lint.py``) greps the source
+tree for ``.incr(`` call sites and fails on any name not declared here, so
+counter names cannot silently drift between producers and the dashboards
+/ benches that read them. Dynamic (f-string) call sites are matched with
+``{...}`` treated as a wildcard; at least one declared name must match.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+
+#: Event counters recorded on :class:`~repro.metrics.recorder.Recorder`.
+COUNTERS: frozenset[str] = frozenset(
+    {
+        # injected faults (repro.faults)
+        "faults.loss_burst",
+        "faults.bandwidth_dip",
+        "faults.link_flap",
+        "faults.straggler",
+        "faults.worker_crash",
+        "faults.worker_restart",
+        # OSP protocol events (repro.core.osp)
+        "osp.quorum_timeout",
+        "osp.deadline_miss",
+        "osp.degraded_quorum",
+        "osp.bsp_fallback",
+        "osp.bsp_fallback_exit",
+    }
+)
+
+#: Streaming counter tracks sampled on the :class:`~repro.obs.Tracer`.
+GAUGES: frozenset[str] = frozenset(
+    {
+        "osp.sgu_budget",
+        "osp.inflight_ics_bytes",
+        "osp.quorum_size",
+        "obs.net.inflight_bytes",
+        "obs.net.active_flows",
+        "obs.ps.version",
+    }
+)
+
+#: Histograms collected on the :class:`~repro.obs.Tracer`.
+HISTOGRAMS: frozenset[str] = frozenset({"obs.bst", "obs.bct"})
+
+ALL_NAMES: frozenset[str] = COUNTERS | GAUGES | HISTOGRAMS
+
+
+def is_registered_counter(name: str) -> bool:
+    """Is ``name`` a declared recorder counter?"""
+    return name in COUNTERS
+
+
+def pattern_matches_registered(pattern: str, names: frozenset[str] = COUNTERS) -> bool:
+    """Does an f-string name template match ≥1 declared name?
+
+    ``{expr}`` placeholders are treated as single-segment wildcards, so
+    ``"faults.{ev.kind}"`` matches ``faults.loss_burst`` but a template
+    with an undeclared static prefix matches nothing.
+    """
+    glob = re.sub(r"\{[^}]*\}", "*", pattern)
+    return any(fnmatch.fnmatchcase(n, glob) for n in names)
+
+
+__all__ = [
+    "ALL_NAMES",
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAMS",
+    "is_registered_counter",
+    "pattern_matches_registered",
+]

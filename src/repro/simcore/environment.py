@@ -30,6 +30,13 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0  # insertion counter: deterministic FIFO tie-break
+        #: Optional :class:`repro.obs.Tracer` (duck-typed; the kernel never
+        #: calls it). None keeps tracing zero-cost for untraced runs.
+        self.tracer = None
+        #: The process whose generator step is currently executing (set by
+        #: :class:`~repro.simcore.process.Process`). Gives the tracer its
+        #: process-local current-span context.
+        self.active_process = None
 
     @property
     def now(self) -> float:

@@ -77,6 +77,12 @@ class Process(Event):
         self._step(event, throw=not event._ok)
 
     def _step(self, event: Event, throw: bool) -> None:
+        # Mark this process as the one executing so tracer spans opened in
+        # the generator body nest in a process-local context (triggering
+        # another event here only *schedules* its callbacks, so steps never
+        # nest — but restore the previous value anyway, defensively).
+        prev_active = self.env.active_process
+        self.env.active_process = self
         try:
             if throw:
                 event.defused = True
@@ -91,6 +97,8 @@ class Process(Event):
         except BaseException as exc:
             self.fail(exc, priority=URGENT)
             return
+        finally:
+            self.env.active_process = prev_active
 
         if not isinstance(next_ev, Event):
             err = RuntimeError(

@@ -64,6 +64,8 @@ class SyncModel:
         """The per-worker simcore process driving training."""
         ipe = ctx.iterations_per_epoch
         resume_at = -1
+        trace = ctx.trace  # NULL_TRACER when tracing is off (all no-ops)
+        actor = f"worker {worker}"
         for epoch in range(ctx.plan.n_epochs):
             if ctx.should_fail(worker, epoch):
                 restart = ctx.retire_worker(worker)
@@ -82,6 +84,10 @@ class SyncModel:
             for batch in range(ipe):
                 iteration = epoch * ipe + batch
                 yield from self.before_compute(ctx, worker, iteration)
+                it_span = trace.begin(
+                    "iteration", actor, cat="iteration",
+                    worker=worker, iteration=iteration, epoch=epoch,
+                )
                 grads, loss, samples, t_c, t_start = yield from ctx.compute(
                     worker,
                     epoch,
@@ -89,9 +95,16 @@ class SyncModel:
                     extra_time=self.extra_compute_time(ctx, worker),
                 )
                 sync_start = ctx.env.now
+                sync_span = trace.begin(
+                    "sync", actor, worker=worker, iteration=iteration
+                )
                 yield from self.synchronize(
                     ctx, worker, epoch, iteration, grads, loss
                 )
+                trace.end(sync_span)
+                trace.end(it_span)
+                trace.observe("obs.bst", ctx.env.now - sync_start)
+                trace.observe("obs.bct", t_c)
                 ctx.record_iteration(
                     worker,
                     iteration,

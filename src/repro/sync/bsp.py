@@ -27,12 +27,28 @@ class BSP(SyncModel):
         self._barrier = ctx.barrier()
 
     def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
+        # Same span names as OSP's RS stage (BSP ≡ RS over the full model),
+        # so traced timelines compare apples-to-apples.
+        trace = ctx.trace
+        actor = f"worker {worker}"
         nbytes = ctx.engine.model_bytes
+        span = trace.begin(
+            "rs_push", actor, worker=worker, iteration=iteration, bytes=nbytes
+        )
         yield ctx.transfer_to_ps(worker, nbytes, tag=("bsp-push", worker, iteration))
+        trace.end(span)
         if ctx.ps.accumulate(f"bsp:{iteration}", worker, grads) == ctx.spec.n_workers:
             ctx.ps.apply_average(f"bsp:{iteration}")
+        span = trace.begin(
+            "rs_barrier_wait", actor, worker=worker, iteration=iteration
+        )
         yield self._barrier.wait()
+        trace.end(span)
+        span = trace.begin(
+            "rs_pull", actor, worker=worker, iteration=iteration, bytes=nbytes
+        )
         yield ctx.transfer_from_ps(worker, nbytes, tag=("bsp-pull", worker, iteration))
+        trace.end(span)
         ctx.engine.sync_replica(worker, ctx.ps)
 
 

@@ -34,13 +34,21 @@ class SSP(ASP):
         self._progress_event: Event = ctx.env.event()
 
     def before_compute(self, ctx, worker, iteration):
+        span = None
         while iteration - int(self._progress.min()) > self.staleness:
+            if span is None:
+                span = ctx.trace.begin(
+                    "staleness_wait", f"worker {worker}",
+                    worker=worker, iteration=iteration,
+                )
             # Wait for any worker to complete an iteration, then re-check.
             ev = self._progress_event
             if ev.triggered:
                 self._progress_event = ctx.env.event()
                 continue
             yield ev
+        if span is not None:
+            ctx.trace.end(span)
 
     def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
         yield from super().synchronize(ctx, worker, epoch, iteration, grads, loss)

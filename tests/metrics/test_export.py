@@ -87,3 +87,48 @@ def test_real_run_roundtrips(tmp_path):
     loaded = load_recorder(path)
     assert loaded.throughput() == pytest.approx(res.recorder.throughput())
     assert loaded.mean_bst() == pytest.approx(res.recorder.mean_bst())
+
+
+def test_from_dict_rejects_unknown_fields():
+    from repro.metrics.export import ExportError
+
+    payload = recorder_to_dict(make_recorder())
+    payload["iterations"][0]["bogus"] = 1
+    with pytest.raises(ExportError, match=r"iterations\[0\].*unknown fields.*bogus"):
+        recorder_from_dict(payload)
+
+
+def test_from_dict_rejects_missing_fields():
+    from repro.metrics.export import ExportError
+
+    payload = recorder_to_dict(make_recorder())
+    del payload["epochs"][0]["metric"]
+    with pytest.raises(ExportError, match=r"epochs\[0\].*missing fields.*metric"):
+        recorder_from_dict(payload)
+
+
+def test_from_dict_rejects_non_object_record():
+    from repro.metrics.export import ExportError
+
+    with pytest.raises(ExportError, match=r"iterations\[0\]: expected an object"):
+        recorder_from_dict({"iterations": [[1, 2, 3]]})
+
+
+def test_export_error_is_a_value_error():
+    from repro.metrics.export import ExportError
+
+    assert issubclass(ExportError, ValueError)
+
+
+def test_save_is_atomic_no_temp_left_behind(tmp_path):
+    path = tmp_path / "run.json"
+    save_recorder(make_recorder(), path)
+    assert json.loads(path.read_text())  # complete, parseable file
+    assert list(tmp_path.iterdir()) == [path]  # temp file renamed away
+
+
+def test_save_overwrites_existing_file(tmp_path):
+    path = tmp_path / "run.json"
+    path.write_text("corrupt-old-content")
+    save_recorder(make_recorder(), path)
+    assert json.loads(path.read_text())["summary"]["total_iterations"] == 1

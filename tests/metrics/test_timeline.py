@@ -52,3 +52,29 @@ def test_horizon_clipping():
 def test_legend_present():
     out = render_timeline([rec(0, 0, 1, 1)])
     assert "compute" in out and "sync" in out
+
+
+def test_footer_never_negative_padding():
+    """A horizon label longer than the bar width must not corrupt the
+    footer (this used to multiply a string by a negative number)."""
+    out = render_timeline([rec(0, 0.0, 60000.0, 60000.0)], width=6)
+    footer = out.splitlines()[-1]
+    assert "120000.00s" in footer
+    assert "compute" in footer  # legend still attached
+
+
+def test_min_width_sync_does_not_overwrite_next_compute():
+    """A zero-length sync still paints one '=' cell, but never on top of
+    a compute glyph from the adjacent iteration."""
+    out = render_timeline(
+        [rec(0, 0.0, 5.0, 0.0), rec(0, 5.0, 5.0, 0.0, iteration=1)], width=10
+    )
+    bar = out.splitlines()[0].split("|")[1]
+    assert bar == "#" * 10  # back-to-back compute stays solid
+
+
+def test_short_sync_still_visible_in_idle():
+    out = render_timeline([rec(0, 0.0, 5.0, 0.01)], width=10, until=10.0)
+    bar = out.splitlines()[0].split("|")[1]
+    assert bar.count("=") == 1  # min-1-cell expansion into idle space
+    assert bar.count("#") == 5

@@ -59,3 +59,62 @@ def test_write_chrome_trace_valid_json(tmp_path):
     payload = json.loads(path.read_text())
     assert len(payload["traceEvents"]) == n
     assert n > 0
+
+
+def test_empty_inputs_produce_empty_trace(tmp_path):
+    assert flows_to_trace_events([]) == []
+    assert iterations_to_trace_events([]) == []
+    path = tmp_path / "empty.json"
+    assert write_chrome_trace(path) == 0
+    assert json.loads(path.read_text()) == {"traceEvents": []}
+
+
+def test_out_of_order_records_are_sorted_in_file(tmp_path):
+    trainer, res = run_small()
+    path = tmp_path / "trace.json"
+    # Feed records in reverse: the file must still come out time-ordered.
+    write_chrome_trace(
+        path,
+        list(reversed(trainer.network.records)),
+        list(reversed(res.recorder.iterations)),
+    )
+    events = json.loads(path.read_text())["traceEvents"]
+    ts = [e["ts"] for e in events]
+    assert ts == sorted(ts)
+
+
+def test_trace_event_schema(tmp_path):
+    """Every event carries the Trace Event Format required fields with
+    the right types (Perfetto rejects malformed ones silently)."""
+    trainer, res = run_small()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, trainer.network.records, res.recorder.iterations)
+    events = json.loads(path.read_text())["traceEvents"]
+    assert events
+    for ev in events:
+        assert ev["ph"] == "X"
+        assert isinstance(ev["name"], str) and ev["name"]
+        assert isinstance(ev["ts"], float) and ev["ts"] >= 0.0
+        assert isinstance(ev["dur"], float) and ev["dur"] >= 1.0
+        assert isinstance(ev["pid"], str)
+        assert isinstance(ev["tid"], str)
+
+
+def test_flow_events_carry_structured_phase_args():
+    trainer, _res = run_small()
+    events = flows_to_trace_events(trainer.network.records)
+    tagged = [e for e in events if "phase" in e["args"]]
+    assert tagged, "conventional (phase, worker, iteration) tags not parsed"
+    for ev in tagged:
+        assert ev["args"]["phase"] in {"bsp-push", "bsp-pull"}
+        assert isinstance(ev["args"]["worker"], int)
+        assert isinstance(ev["args"]["iteration"], int)
+
+
+def test_untupled_tags_do_not_gain_phase_args():
+    from repro.netsim.trace import _tag_args
+
+    assert _tag_args(None) == {}
+    assert _tag_args("plain-string") == {}
+    assert _tag_args(("phase-only",)) == {"phase": "phase-only"}
+    assert _tag_args((1, 2)) == {}

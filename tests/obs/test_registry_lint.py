@@ -1,0 +1,88 @@
+"""Lint: every counter/gauge/histogram name used in src/ is registered.
+
+The registry (repro.obs.registry) is the contract between producers
+(sync models, fault injector, network) and consumers (benches, reports,
+dashboards). This test greps the source tree so an unregistered name
+fails tier-1 instead of silently creating a counter nobody reads.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs.registry import (
+    ALL_NAMES,
+    COUNTERS,
+    GAUGES,
+    HISTOGRAMS,
+    is_registered_counter,
+    pattern_matches_registered,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: .incr("name") / .incr(f"name.{expr}") — first argument must be a string
+#: literal for the lint to apply (dynamic passthroughs like export.py's
+#: re-load loop only replay names that were linted at the original site).
+_INCR = re.compile(r"""\.incr\(\s*(f?)(['"])([^'"]+)\2""")
+_GAUGE = re.compile(r"""\.(?:gauge|gauge_delta)\(\s*(f?)(['"])([^'"]+)\2""")
+_OBSERVE = re.compile(r"""\.observe\(\s*(f?)(['"])([^'"]+)\2""")
+
+
+def _call_sites(regex):
+    found = []
+    for path in sorted(SRC.rglob("*.py")):
+        for m in regex.finditer(path.read_text()):
+            found.append((path.relative_to(SRC), bool(m.group(1)), m.group(3)))
+    return found
+
+
+def test_lint_sees_the_known_call_sites():
+    names = {name for _p, _f, name in _call_sites(_INCR)}
+    assert "osp.deadline_miss" in names
+    assert "faults.{ev.kind}" in names  # the f-string site in the injector
+
+
+def test_every_incr_call_site_uses_a_registered_counter():
+    sites = _call_sites(_INCR)
+    assert sites, "lint found no .incr( call sites — regex rot?"
+    for path, is_fstring, name in sites:
+        if is_fstring:
+            assert pattern_matches_registered(name), (
+                f"{path}: counter template {name!r} matches no registered name"
+            )
+        else:
+            assert is_registered_counter(name), (
+                f"{path}: counter {name!r} not in repro.obs.registry.COUNTERS"
+            )
+
+
+def test_every_gauge_call_site_uses_a_registered_gauge():
+    for path, is_fstring, name in _call_sites(_GAUGE):
+        if is_fstring:
+            assert pattern_matches_registered(name, GAUGES), (
+                f"{path}: gauge template {name!r} matches no registered name"
+            )
+        else:
+            assert name in GAUGES, (
+                f"{path}: gauge {name!r} not in repro.obs.registry.GAUGES"
+            )
+
+
+def test_every_histogram_call_site_is_registered():
+    sites = [s for s in _call_sites(_OBSERVE) if "." in s[2]]
+    for path, _is_fstring, name in sites:
+        assert name in HISTOGRAMS, (
+            f"{path}: histogram {name!r} not in repro.obs.registry.HISTOGRAMS"
+        )
+
+
+def test_registry_namespaces_are_well_formed():
+    for name in ALL_NAMES:
+        prefix = name.split(".", 1)[0]
+        assert prefix in {"osp", "faults", "obs"}, name
+
+
+def test_pattern_matching_semantics():
+    assert pattern_matches_registered("faults.{ev.kind}")
+    assert not pattern_matches_registered("bogus.{x}")
+    assert pattern_matches_registered("osp.deadline_miss")

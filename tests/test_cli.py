@@ -119,3 +119,75 @@ def test_all_sync_factories_instantiate():
     for name, factory in SYNC_FACTORIES.items():
         model = factory()
         assert hasattr(model, "worker_process"), name
+
+
+def test_run_json_includes_bst_percentiles_and_comm_share(capsys):
+    main(
+        ["run", "--sync", "bsp", "--workers", "2", "--epochs", "2",
+         "--iterations", "2", "--json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["bst_p50"] <= payload["bst_p90"] <= payload["bst_p99"]
+    assert 0.0 < payload["communication_share"] < 1.0
+    assert payload["counters"] == {}  # still present for bench readers
+
+
+def test_run_trace_then_report(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert (
+        main(
+            ["run", "--sync", "osp", "--workers", "2", "--epochs", "6",
+             "--iterations", "4", "--trace", str(trace)]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "trace events" in out
+    payload = json.loads(trace.read_text())
+    assert {"X", "C", "i"} <= {e["ph"] for e in payload["traceEvents"]}
+    assert payload["otherData"]["sync"] == "osp"
+
+    assert main(["report", str(trace)]) == 0
+    report = capsys.readouterr().out
+    assert "hidden-sync ratio" in report
+    assert "BST decomposition" in report
+
+
+def test_report_json_from_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    main(
+        ["run", "--sync", "bsp", "--workers", "2", "--epochs", "2",
+         "--iterations", "2", "--trace", str(trace)]
+    )
+    capsys.readouterr()
+    assert main(["report", str(trace), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sync"] == "bsp"
+    # µs quantisation in the trace file leaves float dust; the in-memory
+    # path (tests/obs/test_overlap.py) asserts exact zero.
+    assert abs(payload["hidden_sync_ratio"]) < 1e-12
+    assert payload["n_iterations"] == 8
+
+
+def test_report_from_recorder_json(tmp_path, capsys):
+    from repro.cluster import (
+        ClusterSpec,
+        DistributedTrainer,
+        TimingEngine,
+        TrainingPlan,
+    )
+    from repro.hardware import NoJitter
+    from repro.metrics.export import save_recorder
+    from repro.nn.models import get_card
+    from repro.sync import BSP
+
+    spec = ClusterSpec(n_workers=2, jitter=NoJitter())
+    plan = TrainingPlan(n_epochs=1, iterations_per_epoch=2)
+    engine = TimingEngine(get_card("resnet50-cifar10"), spec, total_iterations=2)
+    res = DistributedTrainer(spec, plan, engine, BSP()).run()
+    path = tmp_path / "recorder.json"
+    save_recorder(res.recorder, path)
+
+    assert main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Batch synchronization time" in out

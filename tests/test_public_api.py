@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.core",
     "repro.cluster",
     "repro.metrics",
+    "repro.obs",
     "repro.harness",
 ]
 
