@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full faults trace examples clean
+.PHONY: install test bench bench-full perf perf-full faults trace examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -13,6 +13,16 @@ bench:
 
 bench-full:
 	REPRO_BENCH_FULL=1 pytest benchmarks/ --benchmark-only -s
+
+# Hot-path perf smoke: quick microbenchmarks to a scratch file, then
+# validate the committed baseline's schema + guarded speedups.
+perf:
+	PYTHONPATH=src python -m repro perf --quick --out /tmp/BENCH_hotpath.quick.json
+	PYTHONPATH=src python -m repro perf --check BENCH_hotpath.json
+
+# Regenerate the committed BENCH_hotpath.json at full scale.
+perf-full:
+	PYTHONPATH=src python -m repro perf --out BENCH_hotpath.json
 
 # Fault-injection smoke: the tier-1 fault tests plus the robustness bench.
 faults:

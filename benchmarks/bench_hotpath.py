@@ -1,0 +1,44 @@
+"""Perf-regression benchmark — the flat-arena hot path.
+
+Runs the ``repro perf`` harness (quick mode by default, full scale with
+``REPRO_BENCH_FULL=1``), prints the per-op speedup table, and asserts the
+optimized path is no slower than the dict/legacy baseline on the guarded
+ratios — the same check the tier-1 guard applies to the committed
+``BENCH_hotpath.json``.
+"""
+
+from conftest import bench_quick
+
+from repro.metrics.report import format_table
+from repro.perf.hotpath import GUARDED_SPEEDUPS, get_path, run_hotpath_bench
+
+
+def _run():
+    return run_hotpath_bench(quick=bench_quick(), jobs=2)
+
+
+def test_hotpath_speedups(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    micro = data["micro"]
+    e2e = data["end_to_end"]["numeric"]
+    print()
+    rows = [
+        (op, f"{micro[op]['dict_s'] * 1e3:.2f}", f"{micro[op]['flat_s'] * 1e3:.2f}",
+         f"{micro[op]['speedup']:.2f}x")
+        for op in ("ps_apply", "pgp", "ps_apply_pgp", "lgp", "sync_replica")
+    ]
+    rows.append(
+        ("end-to-end", f"{e2e['baseline_s'] * 1e3:.0f}",
+         f"{e2e['optimized_s'] * 1e3:.0f}", f"{e2e['speedup']:.2f}x")
+    )
+    print(
+        format_table(
+            ["op", "dict/legacy (ms)", "flat (ms)", "speedup"],
+            rows,
+            title="Hot-path microbenchmarks (flat arena vs dict path)",
+        )
+    )
+    assert e2e["identical"], "optimized run must be bit-identical to baseline"
+    assert data["sweep"]["identical"], "parallel sweep must equal serial"
+    for field in GUARDED_SPEEDUPS:
+        assert get_path(data, field) >= 1.0, f"{field} regressed below 1.0"

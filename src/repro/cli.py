@@ -195,6 +195,46 @@ def cmd_cards(_args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from repro.perf.hotpath import run_hotpath_bench, save_bench, validate_bench
+
+    if args.check:
+        from pathlib import Path
+
+        data = json.loads(Path(args.check).read_text())
+        problems = validate_bench(data, min_speedup=args.min_speedup)
+        if problems:
+            for p in problems:
+                print(f"FAIL: {p}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: schema ok, all guarded speedups >= "
+              f"{args.min_speedup:.2f}")
+        return 0
+
+    data = run_hotpath_bench(
+        card_name=args.card,
+        quick=args.quick,
+        jobs=args.jobs,
+        seed=args.seed,
+        micro_card=args.micro_card,
+    )
+    save_bench(data, args.out)
+    micro = data["micro"]
+    e2e = data["end_to_end"]["numeric"]
+    print(f"wrote {args.out}")
+    for op in ("ps_apply", "pgp", "lgp", "sync_replica"):
+        print(f"  {op:<14} {micro[op]['speedup']:.2f}x")
+    print(f"  {'end-to-end':<14} {e2e['speedup']:.2f}x "
+          f"({e2e['reduction_pct']:.1f}% reduction, "
+          f"bit-identical={e2e['identical']})")
+    problems = validate_bench(data)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_figures(_args) -> int:
     print(
         "Figure-regeneration benchmarks (run with "
@@ -270,6 +310,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_figs = sub.add_parser("figures", help="list figure benchmarks")
     p_figs.set_defaults(fn=cmd_figures)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="hot-path microbenchmarks -> BENCH_hotpath.json (or --check one)",
+    )
+    p_perf.add_argument(
+        "--out", default="BENCH_hotpath.json", help="output JSON path"
+    )
+    p_perf.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: small configs, seconds instead of minutes",
+    )
+    p_perf.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="sweep-executor fan-out (default: min(4, cores))",
+    )
+    p_perf.add_argument("--seed", type=int, default=0)
+    p_perf.add_argument(
+        "--card", default="resnet50-cifar10", choices=sorted(MODEL_CARDS),
+        help="end-to-end workload (fig6b scale)",
+    )
+    p_perf.add_argument(
+        "--micro-card", default="inceptionv3-cifar100",
+        choices=sorted(MODEL_CARDS), help="per-op microbenchmark workload",
+    )
+    p_perf.add_argument(
+        "--check", metavar="FILE", default=None,
+        help="validate an existing BENCH_hotpath.json instead of running",
+    )
+    p_perf.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="regression threshold for --check",
+    )
+    p_perf.set_defaults(fn=cmd_perf)
     return parser
 
 

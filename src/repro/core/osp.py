@@ -39,6 +39,7 @@ from typing import Optional
 from repro.core.gib import GIB
 from repro.core.lgp import EMALGPCorrector, LGPCorrector
 from repro.core.tuning import MAX_MODEL_FRACTION, SGuTuner, ics_upper_bound
+from repro.nn.arena import ArenaView
 from repro.sync.base import SyncModel
 
 
@@ -178,7 +179,9 @@ class OSP(SyncModel):
             "none": None,
         }[self.lgp_mode]
         self._correctors = [
-            corrector_cls(engine.worker_params(w)) if corrector_cls else None
+            corrector_cls(engine.worker_params(w), arena=engine.replica_arena(w))
+            if corrector_cls
+            else None
             for w in range(n)
         ]
 
@@ -287,15 +290,15 @@ class OSP(SyncModel):
                 "lgp_correction", actor, worker=worker, iteration=iteration, eq=6
             ):
                 imp_names = self.splitter.params_of(imp_layers)
-                snap = ctx.ps.snapshot(imp_names)
                 if corrector is not None:
+                    # Read-only, consumed before the next yield — safe to
+                    # skip the deep copy (see ParameterServer.snapshot).
+                    snap = ctx.ps.snapshot(imp_names, copy=False)
                     corrector.apply_rs(snap, g_unimp or {}, lr=ctx.current_lr)
                 else:
                     # no-LGP ablation: adopt important params, leave the
                     # rest stale
-                    replica = ctx.engine.worker_params(worker)
-                    for name, value in snap.items():
-                        replica[name][...] = value
+                    ctx.engine.sync_replica(worker, ctx.ps, imp_names)
 
         # (5) ICS in the background (overlaps the next compute).
         if unimp_layers:
@@ -412,9 +415,15 @@ class OSP(SyncModel):
                 still_unimp = set(
                     self.splitter.params_of(self._gib.unimportant_layers)
                 )
-                corrector.apply_ics(
-                    {n: v for n, v in snapshot.items() if n in still_unimp}
-                )
+                if isinstance(snapshot, ArenaView):
+                    filtered = snapshot.restrict(
+                        [n for n in snapshot.names if n in still_unimp]
+                    )
+                else:
+                    filtered = {
+                        n: v for n, v in snapshot.items() if n in still_unimp
+                    }
+                corrector.apply_ics(filtered)
 
     def _ready(self, ctx, iteration):
         ev = self._ics_ready.get(iteration)

@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.cluster.trainer import TrainingResult
+from repro.perf.executor import parallel_map
 
 
 @dataclass(frozen=True)
@@ -62,16 +63,30 @@ class MultiSeedResult:
 def run_seeds(
     trainer_factory: Callable[[int], "DistributedTrainer"],  # noqa: F821
     seeds: Sequence[int],
+    jobs: int | None = 1,
 ) -> MultiSeedResult:
     """Run ``trainer_factory(seed)`` for each seed and aggregate.
 
     The factory must build a *fresh* trainer per call (trainers are
-    single-use).
+    single-use). ``jobs`` fans seeds across forked processes via
+    :func:`repro.perf.parallel_map`; only the aggregated scalar metrics
+    cross the process boundary (full ``TrainingResult`` objects hold live
+    simulation state and do not pickle), so the statistics are identical
+    to a serial run.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    results = [trainer_factory(int(s)).run() for s in seeds]
-    return MultiSeedResult.from_results(results)
+
+    def one(seed: int) -> tuple[float, float, float]:
+        res = trainer_factory(int(seed)).run()
+        return res.throughput, res.best_metric, res.mean_bst
+
+    metrics = parallel_map(one, [int(s) for s in seeds], jobs=jobs)
+    return MultiSeedResult(
+        throughput=SeedStats(tuple(m[0] for m in metrics)),
+        best_metric=SeedStats(tuple(m[1] for m in metrics)),
+        mean_bst=SeedStats(tuple(m[2] for m in metrics)),
+    )
 
 
 __all__ = ["MultiSeedResult", "SeedStats", "run_seeds"]

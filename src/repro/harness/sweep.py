@@ -24,6 +24,7 @@ from repro.cluster.trainer import DistributedTrainer
 from repro.hardware.jitter import LognormalJitter
 from repro.netsim.links import LinkSpec
 from repro.nn.models.registry import get_card
+from repro.perf.executor import parallel_map
 
 
 @dataclass(frozen=True)
@@ -54,8 +55,13 @@ def _run_one(
         jitter=LognormalJitter(sigma=sigma, seed=seed),
     )
     plan = TrainingPlan(n_epochs=epochs, iterations_per_epoch=ipe, seed=seed)
-    engine = TimingEngine(get_card(card_name), spec, total_iterations=epochs * ipe, seed=seed)
-    engine.tau = max(1.0, epochs * ipe / 6.0)
+    engine = TimingEngine(
+        get_card(card_name),
+        spec,
+        total_iterations=epochs * ipe,
+        seed=seed,
+        tau=max(1.0, epochs * ipe / 6.0),
+    )
     res = DistributedTrainer(spec, plan, engine, sync_factory()).run()
     t_c = engine.base_compute_time(spec)
     rho = t_c / (2.0 * n_workers * engine.model_bytes / bandwidth)
@@ -71,19 +77,24 @@ def sweep_bandwidth(
     epochs: int = 16,
     ipe: int = 6,
     seed: int = 0,
+    jobs: int | None = 1,
 ) -> list[SweepPoint]:
-    """Sweep the per-node link bandwidth (bytes/second)."""
-    points = []
-    for b in bandwidths:
-        for factory in sync_factories:
-            sync_name = factory().name
-            thr, bst, rho = _run_one(
-                card_name, factory, b, n_workers, sigma, epochs, ipe, seed
-            )
-            points.append(
-                SweepPoint("bandwidth", float(b), sync_name, thr, bst, rho)
-            )
-    return points
+    """Sweep the per-node link bandwidth (bytes/second).
+
+    ``jobs`` fans the (bandwidth, sync) grid across forked worker
+    processes (:func:`repro.perf.parallel_map`); the returned points are
+    identical to the serial run for any value.
+    """
+
+    def one(task: tuple[float, Callable]) -> SweepPoint:
+        b, factory = task
+        thr, bst, rho = _run_one(
+            card_name, factory, b, n_workers, sigma, epochs, ipe, seed
+        )
+        return SweepPoint("bandwidth", float(b), factory().name, thr, bst, rho)
+
+    tasks = [(b, f) for b in bandwidths for f in sync_factories]
+    return parallel_map(one, tasks, jobs=jobs, seed_base=seed)
 
 
 def sweep_workers(
@@ -95,18 +106,20 @@ def sweep_workers(
     epochs: int = 16,
     ipe: int = 6,
     seed: int = 0,
+    jobs: int | None = 1,
 ) -> list[SweepPoint]:
-    """Sweep the cluster size."""
+    """Sweep the cluster size (``jobs``: see :func:`sweep_bandwidth`)."""
     b = bandwidth if bandwidth is not None else LinkSpec().bandwidth
-    points = []
-    for n in worker_counts:
-        for factory in sync_factories:
-            sync_name = factory().name
-            thr, bst, rho = _run_one(
-                card_name, factory, b, int(n), sigma, epochs, ipe, seed
-            )
-            points.append(SweepPoint("workers", float(n), sync_name, thr, bst, rho))
-    return points
+
+    def one(task: tuple[int, Callable]) -> SweepPoint:
+        n, factory = task
+        thr, bst, rho = _run_one(
+            card_name, factory, b, int(n), sigma, epochs, ipe, seed
+        )
+        return SweepPoint("workers", float(n), factory().name, thr, bst, rho)
+
+    tasks = [(n, f) for n in worker_counts for f in sync_factories]
+    return parallel_map(one, tasks, jobs=jobs, seed_base=seed)
 
 
 def sweep_jitter(
@@ -117,18 +130,21 @@ def sweep_jitter(
     epochs: int = 16,
     ipe: int = 6,
     seed: int = 0,
+    jobs: int | None = 1,
 ) -> list[SweepPoint]:
-    """Sweep straggler severity (lognormal sigma)."""
+    """Sweep straggler severity (lognormal sigma; ``jobs``: see
+    :func:`sweep_bandwidth`)."""
     b = LinkSpec().bandwidth
-    points = []
-    for s in sigmas:
-        for factory in sync_factories:
-            sync_name = factory().name
-            thr, bst, rho = _run_one(
-                card_name, factory, b, n_workers, float(s), epochs, ipe, seed
-            )
-            points.append(SweepPoint("sigma", float(s), sync_name, thr, bst, rho))
-    return points
+
+    def one(task: tuple[float, Callable]) -> SweepPoint:
+        s, factory = task
+        thr, bst, rho = _run_one(
+            card_name, factory, b, n_workers, float(s), epochs, ipe, seed
+        )
+        return SweepPoint("sigma", float(s), factory().name, thr, bst, rho)
+
+    tasks = [(s, f) for s in sigmas for f in sync_factories]
+    return parallel_map(one, tasks, jobs=jobs, seed_base=seed)
 
 
 def speedup_over(points: Sequence[SweepPoint], base_sync: str, sync: str) -> list[tuple[float, float]]:

@@ -70,12 +70,15 @@ def timing_trainer(cfg: WorkloadConfig, sync_model) -> DistributedTrainer:
         iterations_per_epoch=cfg.iterations_per_epoch,
         seed=cfg.seed,
     )
-    engine = TimingEngine(
-        cfg.card, spec, total_iterations=cfg.total_iterations, seed=cfg.seed
-    )
     # Loss decays within the run so Algorithm 1's ramp completes (the paper
     # trains to convergence; our epoch budget is smaller).
-    engine.tau = max(1.0, cfg.total_iterations / 6.0)
+    engine = TimingEngine(
+        cfg.card,
+        spec,
+        total_iterations=cfg.total_iterations,
+        seed=cfg.seed,
+        tau=max(1.0, cfg.total_iterations / 6.0),
+    )
     return DistributedTrainer(spec, plan, engine, sync_model)
 
 

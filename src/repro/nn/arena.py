@@ -1,0 +1,392 @@
+"""Flat parameter/gradient arena: one contiguous buffer per plane.
+
+The numeric hot path used to move gradients through ``dict[str, ndarray]``
+loops (PS weighted averaging, SGD apply, PGP importance, replica sync, LGP
+correction) — thousands of tiny numpy calls per simulated iteration. The
+arena keeps every parameter of a model in ONE contiguous 1-D float buffer
+(a *plane*), with per-parameter shaped views sliced out of it, so those
+operations collapse into a handful of vectorized ops over contiguous
+slices while every existing name→array Mapping interface keeps working.
+
+Planes
+------
+* **param plane** — ``ParamArena.flat``; each ``Parameter.data`` is
+  repointed to a shaped view into it, so autograd/optimizer writes land in
+  the plane automatically.
+* **grad plane** — a fresh plane per backward pass (workers can hold
+  gradients across overlapping ICS rounds, so planes are not reused);
+  exposed as an :class:`ArenaView`.
+* **aggregate / velocity planes** — owned by the PS and SGD respectively.
+
+Bit-for-bit parity
+------------------
+Fast paths are constructed so every element sees the *same sequence of the
+same floating-point operations* as the dict path (see
+``docs/performance.md`` for the aliasing and parity rules). In particular:
+first deposits are written with ``np.multiply(..., out=...)`` assignment
+(never ``0.0 + x``, which would flip ``-0.0``), reductions use numpy's
+pairwise ``.sum()`` over contiguous slices per parameter (identical to the
+dict path's per-array sum), and momentum updates use the in-place form of
+``v = momentum * v + g``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import DEFAULT_DTYPE
+from repro.nn.module import Module
+
+
+def merge_slices(slices: Sequence[slice]) -> list[slice]:
+    """Coalesce adjacent/overlapping 1-D slices into maximal runs.
+
+    Input slices must have ``step`` of None/1. Order of the output follows
+    the (sorted) start offsets; OSP's layer groups are contiguous in layout
+    order, so a GIB half typically merges to a handful of runs.
+    """
+    if not slices:
+        return []
+    spans = sorted((s.start, s.stop) for s in slices)
+    merged: list[list[int]] = [list(spans[0])]
+    for start, stop in spans[1:]:
+        if start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], stop)
+        else:
+            merged.append([start, stop])
+    return [slice(a, b) for a, b in merged]
+
+
+class ArenaLayout:
+    """Shared name→offset map for one model architecture.
+
+    All planes (params, grads, aggregates, velocity) of all replicas of the
+    same model share a single layout, so a slice means the same parameters
+    in every plane and cross-plane ops need no name translation.
+    """
+
+    def __init__(
+        self,
+        layer_params: Mapping[str, Sequence[str]],
+        shapes: Mapping[str, tuple],
+    ) -> None:
+        self.layer_params = {k: tuple(v) for k, v in layer_params.items()}
+        names: list[str] = []
+        self.shapes: dict[str, tuple] = {}
+        self.name_slices: dict[str, slice] = {}
+        self.layer_slices: dict[str, slice] = {}
+        offset = 0
+        for layer, pnames in self.layer_params.items():
+            layer_start = offset
+            for name in pnames:
+                shape = tuple(shapes[name])
+                size = int(np.prod(shape)) if shape else 1
+                names.append(name)
+                self.shapes[name] = shape
+                self.name_slices[name] = slice(offset, offset + size)
+                offset += size
+            self.layer_slices[layer] = slice(layer_start, offset)
+        self.names: tuple[str, ...] = tuple(names)
+        self.size = offset
+        self._slice_cache: dict[tuple[str, ...], list[slice]] = {}
+        self._sum_groups: Optional[tuple[np.ndarray, list]] = None
+        self._sum_scratch: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    @classmethod
+    def from_module(cls, module: Module) -> "ArenaLayout":
+        """Layout in ``named_parameters()`` order, grouped by leaf layer."""
+        from repro.core.splitter import GradientSplitter
+
+        splitter = GradientSplitter.from_module(module)
+        shapes = {n: p.data.shape for n, p in module.named_parameters()}
+        return cls(splitter.layer_params, shapes)
+
+    def new_plane(self) -> np.ndarray:
+        """Fresh zeroed 1-D buffer covering every parameter."""
+        return np.zeros(self.size, dtype=DEFAULT_DTYPE)
+
+    def slices_of(self, names: Sequence[str]) -> list[slice]:
+        """Merged contiguous runs covering ``names`` (cached)."""
+        key = tuple(names)
+        out = self._slice_cache.get(key)
+        if out is None:
+            out = merge_slices([self.name_slices[n] for n in key])
+            self._slice_cache[key] = out
+        return out
+
+    def sum_groups(self) -> tuple[np.ndarray, list]:
+        """Cached machinery for batched per-parameter reductions.
+
+        Returns ``(gather_idx, groups)``: ``gather_idx`` permutes the plane
+        so parameters of equal size land adjacent, and each group is
+        ``(offset, n_params, size, names)`` — a contiguous
+        ``(n_params, size)`` block of the gathered buffer whose
+        ``sum(axis=1)`` yields every per-parameter sum of that size class
+        in one numpy call. A row-wise axis sum over a contiguous block uses
+        the same pairwise reduction as a 1-D ``.sum()`` of the original
+        slice, so results are bit-identical to summing each parameter
+        separately (the dict path's operation).
+
+        Size classes with a single member skip the gather (their slice is
+        already contiguous — copying it would just burn bandwidth, which
+        visibly hurts fc-heavy models like VGG) and are returned as the
+        third element, ``singles = [(name, slice), ...]``."""
+        if self._sum_groups is None:
+            by_size: dict[int, list[str]] = {}
+            for n in self.names:
+                sl = self.name_slices[n]
+                by_size.setdefault(sl.stop - sl.start, []).append(n)
+            idx_parts: list[np.ndarray] = []
+            groups: list[tuple[int, int, int, tuple[str, ...]]] = []
+            singles: list[tuple[str, slice]] = []
+            offset = 0
+            for size, group in by_size.items():
+                if len(group) == 1:
+                    singles.append((group[0], self.name_slices[group[0]]))
+                    continue
+                for n in group:
+                    sl = self.name_slices[n]
+                    idx_parts.append(np.arange(sl.start, sl.stop, dtype=np.intp))
+                groups.append((offset, len(group), size, tuple(group)))
+                offset += len(group) * size
+            gather_idx = (
+                np.concatenate(idx_parts)
+                if idx_parts
+                else np.empty(0, dtype=np.intp)
+            )
+            self._sum_groups = (gather_idx, groups, singles)
+        return self._sum_groups
+
+    def sum_scratch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Reusable (product, gathered) buffers for :func:`flat_layer_importance`
+        (single-threaded simulation: no call overlaps another)."""
+        if self._sum_scratch is None:
+            gather_idx = self.sum_groups()[0]
+            self._sum_scratch = (
+                np.empty(self.size, dtype=DEFAULT_DTYPE),
+                np.empty(gather_idx.size, dtype=DEFAULT_DTYPE),
+            )
+        return self._sum_scratch
+
+
+class ArenaView(Mapping):
+    """``Mapping[str, np.ndarray]`` over (a subset of) one flat plane.
+
+    ``view[name]`` returns a *live shaped view* into the plane — mutating
+    it mutates the plane (and vice versa). Iteration order is layout order
+    restricted to the view's names. ``.slices`` gives the merged contiguous
+    runs backing the subset, which is what the vectorized fast paths
+    consume.
+    """
+
+    __slots__ = ("plane", "layout", "names", "_shaped", "_slices", "_nameset")
+
+    def __init__(
+        self,
+        plane: np.ndarray,
+        layout: ArenaLayout,
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.plane = plane
+        self.layout = layout
+        if names is None:
+            self.names = layout.names
+        else:
+            for n in names:
+                if n not in layout.name_slices:
+                    raise KeyError(f"unknown parameter {n!r}")
+            self.names = tuple(names)
+        self._nameset = frozenset(self.names)
+        self._shaped: dict[str, np.ndarray] = {}
+        self._slices: Optional[list[slice]] = None
+
+    @property
+    def slices(self) -> list[slice]:
+        if self._slices is None:
+            self._slices = self.layout.slices_of(self.names)
+        return self._slices
+
+    def restrict(self, names: Sequence[str]) -> "ArenaView":
+        """Sub-view over ``names`` (must be a subset), same plane."""
+        own = set(self.names)
+        bad = [n for n in names if n not in own]
+        if bad:
+            raise KeyError(f"names not in view: {bad}")
+        return ArenaView(self.plane, self.layout, names)
+
+    def is_full(self) -> bool:
+        """True when the view covers every parameter of the layout."""
+        return len(self.names) == len(self.layout.names)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        arr = self._shaped.get(name)
+        if arr is None:
+            if name not in self._nameset:
+                raise KeyError(name)
+            sl = self.layout.name_slices[name]
+            arr = self.plane[sl].reshape(self.layout.shapes[name])
+            self._shaped[name] = arr
+        return arr
+
+    def __contains__(self, name) -> bool:
+        return name in self._nameset
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __repr__(self) -> str:
+        return f"ArenaView({len(self.names)} params, {self.plane.size} floats)"
+
+
+class AggregateView(Mapping):
+    """The PS's ``last_aggregated``: a live window onto the aggregate plane.
+
+    Membership is governed by a *live* ``seen`` set owned by the PS —
+    parameters appear only once some round has actually aggregated them
+    (never-synchronized layers must stay absent so PGP treats them as
+    maximally important). Values are live views into the aggregate plane:
+    they change in place on every apply. See ``docs/performance.md`` for
+    the aliasing contract.
+    """
+
+    __slots__ = ("plane", "layout", "seen", "_shaped")
+
+    def __init__(self, plane: np.ndarray, layout: ArenaLayout, seen: set) -> None:
+        self.plane = plane
+        self.layout = layout
+        self.seen = seen  # shared, mutated by the PS
+        self._shaped: dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self.seen:
+            raise KeyError(name)
+        arr = self._shaped.get(name)
+        if arr is None:
+            sl = self.layout.name_slices[name]
+            arr = self.plane[sl].reshape(self.layout.shapes[name])
+            self._shaped[name] = arr
+        return arr
+
+    def __contains__(self, name) -> bool:
+        return name in self.seen
+
+    def __iter__(self) -> Iterator[str]:
+        # layout order for determinism, filtered by what has been seen
+        return (n for n in self.layout.names if n in self.seen)
+
+    def __len__(self) -> int:
+        return len(self.seen)
+
+    def __repr__(self) -> str:
+        return f"AggregateView({len(self.seen)}/{len(self.layout.names)} params)"
+
+
+class ParamArena:
+    """Binds a :class:`Module`'s parameters onto one contiguous plane.
+
+    Construction copies the current parameter values into the plane and
+    repoints every ``Parameter.data`` at a shaped view into it, then tags
+    the module with ``module._flat_arena = self`` so downstream components
+    (PS, SGD, engines) can detect and exploit the flat storage. In-place
+    updates (``p.data -= ...``, ``p.data[...] = ...``) keep working and
+    land in the plane; *rebinding* ``p.data`` to a fresh array would detach
+    the parameter from the arena and must not be done.
+    """
+
+    def __init__(self, module: Module, layout: Optional[ArenaLayout] = None) -> None:
+        self.module = module
+        self.layout = layout if layout is not None else ArenaLayout.from_module(module)
+        self.flat = np.empty(self.layout.size, dtype=DEFAULT_DTYPE)
+        params = dict(module.named_parameters())
+        if set(params) != set(self.layout.names):
+            raise ValueError("module parameters do not match arena layout")
+        for name in self.layout.names:
+            p = params[name]
+            sl = self.layout.name_slices[name]
+            self.flat[sl] = np.asarray(p.data, dtype=DEFAULT_DTYPE).ravel()
+            p.data = self.flat[sl].reshape(self.layout.shapes[name])
+        module._flat_arena = self
+
+    def view(self, names: Optional[Sequence[str]] = None) -> ArenaView:
+        """Mapping view over the parameter plane (all or a subset)."""
+        return ArenaView(self.flat, self.layout, names)
+
+    def gather_grads(self, module: Optional[Module] = None) -> ArenaView:
+        """Copy the module's current ``.grad`` arrays into a *fresh* grad
+        plane and return a view over the parameters that have gradients.
+
+        A fresh plane per call is required: OSP workers hold an iteration's
+        unimportant gradients in flight (ICS) while computing the next
+        iteration's gradients, so grad storage cannot be reused.
+        """
+        module = module if module is not None else self.module
+        plane = np.empty(self.layout.size, dtype=DEFAULT_DTYPE)
+        names: list[str] = []
+        for name, p in module.named_parameters():
+            if p.grad is not None:
+                plane[self.layout.name_slices[name]] = p.grad.ravel()
+                names.append(name)
+        return ArenaView(plane, self.layout, names)
+
+
+def arena_of(module) -> Optional[ParamArena]:
+    """The arena a module is bound to, or None."""
+    return getattr(module, "_flat_arena", None)
+
+
+def flat_layer_importance(
+    grads: ArenaView | AggregateView,
+    params: ArenaView,
+    layer_params: Mapping[str, Sequence[str]],
+) -> dict[str, float]:
+    """PGP Eq. 4 over flat planes: one ``|g·p|`` pass + batched slice sums.
+
+    Bit-identical to :func:`repro.core.pgp.layer_importance`: the product
+    is the same elementwise op; per-parameter reductions run batched per
+    size class (:meth:`ArenaLayout.sum_groups` — same pairwise reduction as
+    a per-slice ``.sum()``), accumulated per layer in Python float —
+    exactly the dict path's operation sequence. Layers with any unseen
+    parameter get ``inf`` (never-synchronized ⇒ maximally important).
+    """
+    layout = grads.layout
+    gather_idx, groups, singles = layout.sum_groups()
+    prod, gathered = layout.sum_scratch()
+    np.multiply(grads.plane, params.plane, out=prod)
+    np.abs(prod, out=prod)
+    sums: dict[str, float] = {}
+    if groups:
+        np.take(prod, gather_idx, out=gathered)
+        for offset, n_params, size, names in groups:
+            block = gathered[offset : offset + n_params * size]
+            values = block.reshape(n_params, size).sum(axis=1).tolist()
+            for name, value in zip(names, values):
+                sums[name] = value
+    for name, sl in singles:
+        sums[name] = float(prod[sl].sum())
+    full = len(grads) == len(layout.names)
+    out: dict[str, float] = {}
+    for layer, names in layer_params.items():
+        if full or all(n in grads for n in names):
+            total = 0.0
+            for n in names:
+                total += sums[n]
+            out[layer] = total
+        else:
+            out[layer] = float("inf")
+    return out
+
+
+__all__ = [
+    "AggregateView",
+    "ArenaLayout",
+    "ArenaView",
+    "ParamArena",
+    "arena_of",
+    "flat_layer_importance",
+    "merge_slices",
+]

@@ -12,6 +12,7 @@ from typing import Iterable, Mapping, Optional
 
 import numpy as np
 
+from repro.nn.arena import ArenaView, arena_of
 from repro.nn.module import Module
 
 
@@ -55,6 +56,17 @@ class SGD:
         self.nesterov = nesterov
         self._params = dict(module.named_parameters())
         self._velocity: dict[str, np.ndarray] = {}
+        # Flat fast path: when the module is arena-backed, updates run as
+        # vectorized ops over contiguous slices and momentum state lives in
+        # one velocity plane (the dict path then uses in-place views into
+        # the same plane, so mixing paths never forks optimizer state).
+        self._arena = arena_of(module)
+        self._vel_plane: Optional[np.ndarray] = None
+
+    def _velocity_plane(self) -> np.ndarray:
+        if self._vel_plane is None:
+            self._vel_plane = self._arena.layout.new_plane()
+        return self._vel_plane
 
     def zero_grad(self) -> None:
         """Clear all parameter gradients."""
@@ -76,6 +88,13 @@ class SGD:
         left untouched (this is how OSP updates only the important subset
         at the RS boundary).
         """
+        if (
+            self._arena is not None
+            and isinstance(grads, ArenaView)
+            and grads.layout is self._arena.layout
+        ):
+            self._step_flat(grads)
+            return
         unknown = set(grads) - set(self._params)
         if unknown:
             raise KeyError(f"gradients for unknown parameters: {sorted(unknown)}")
@@ -89,13 +108,51 @@ class SGD:
             if self.weight_decay:
                 g = g + self.weight_decay * p.data
             if self.momentum:
-                v = self._velocity.get(name)
-                if v is None:
-                    v = np.zeros_like(p.data)
-                v = self.momentum * v + g
-                self._velocity[name] = v
+                v = self._get_velocity(name, p)
+                np.multiply(v, self.momentum, out=v)
+                v += g
                 g = g + self.momentum * v if self.nesterov else v
             p.data -= self.lr * g
+
+    def _get_velocity(self, name: str, p) -> np.ndarray:
+        v = self._velocity.get(name)
+        if v is None:
+            if self._arena is not None:
+                sl = self._arena.layout.name_slices[name]
+                v = self._velocity_plane()[sl].reshape(p.data.shape)
+            else:
+                v = np.zeros_like(p.data)
+            self._velocity[name] = v
+        return v
+
+    def _step_flat(self, grads: ArenaView) -> None:
+        """Vectorized update over the arena's merged contiguous slices.
+
+        Elementwise op sequence matches the dict path exactly (same
+        ``wd*p``, ``momentum*v + g``, ``p -= lr*g`` forms), so results are
+        bit-identical; only the loop granularity changes (slices vs names).
+        """
+        flat = self._arena.flat
+        vel = self._velocity_plane() if self.momentum else None
+        if self.momentum:
+            # register shaped views so dict-path calls and introspection
+            # see the same state
+            for name in grads.names:
+                if name not in self._velocity:
+                    sl = self._arena.layout.name_slices[name]
+                    self._velocity[name] = vel[sl].reshape(
+                        self._arena.layout.shapes[name]
+                    )
+        for sl in grads.slices:
+            g = grads.plane[sl]
+            if self.weight_decay:
+                g = g + self.weight_decay * flat[sl]
+            if self.momentum:
+                v = vel[sl]
+                np.multiply(v, self.momentum, out=v)
+                v += g
+                g = g + self.momentum * v if self.nesterov else v
+            flat[sl] -= self.lr * g
 
     def gradient_dict(self) -> dict[str, np.ndarray]:
         """Copy the current tape gradients keyed by parameter name."""

@@ -1,0 +1,56 @@
+"""Property test: the flat-arena fast paths are bit-for-bit identical to
+the dict path over full numeric training runs (OSP + BSP + ASP).
+
+The arena is toggled via the ``REPRO_FLAT_ARENA`` env kill-switch so both
+runs execute the exact same trainer-construction code. Any divergence in
+the operation sequencing of the vectorized paths (PS averaging, SGD
+apply, PGP importance, LGP correction, replica sync) shows up here as a
+parameter or loss mismatch.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.osp import OSP
+from repro.harness.workloads import WorkloadConfig, make_numeric_dataset, numeric_trainer
+from repro.sync import ASP, BSP
+
+#: 4 workers x 3 epochs x 6 batches/epoch = 72 iterations (>= 50).
+CFG = WorkloadConfig("resnet50-cifar10", n_workers=4, n_epochs=3, seed=0)
+
+
+def _fingerprint(cfg, sync_factory):
+    data = make_numeric_dataset(cfg.card, n_samples=400, seed=cfg.seed)
+    trainer = numeric_trainer(cfg, sync_factory(), data=data, batch_size=12)
+    result = trainer.run()
+    assert result.recorder.total_iterations >= 50
+    h = hashlib.sha256()
+    snap = trainer.ps.snapshot()
+    for name in sorted(snap):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(snap[name]).tobytes())
+    losses = tuple(repr(r.loss) for r in result.recorder.iterations)
+    return h.hexdigest(), losses, repr(result.wall_time)
+
+
+@pytest.mark.parametrize("sync_factory", [OSP, BSP, ASP])
+def test_arena_bit_identical_to_dict_path(sync_factory, monkeypatch):
+    monkeypatch.setenv("REPRO_FLAT_ARENA", "1")
+    flat = _fingerprint(CFG, sync_factory)
+    monkeypatch.setenv("REPRO_FLAT_ARENA", "0")
+    dict_path = _fingerprint(CFG, sync_factory)
+    assert flat == dict_path
+
+
+def test_kill_switch_disables_arena(monkeypatch):
+    monkeypatch.setenv("REPRO_FLAT_ARENA", "0")
+    data = make_numeric_dataset(CFG.card, n_samples=400, seed=0)
+    trainer = numeric_trainer(CFG, BSP(), data=data, batch_size=16)
+    assert trainer.engine.replica_arena(0) is None
+    assert trainer.ps.arena is None
+    monkeypatch.setenv("REPRO_FLAT_ARENA", "1")
+    trainer = numeric_trainer(CFG, BSP(), data=data, batch_size=16)
+    assert trainer.engine.replica_arena(0) is not None
+    assert trainer.ps.arena is not None

@@ -1,0 +1,156 @@
+"""Unit tests for the flat parameter/gradient arena."""
+
+import numpy as np
+import pytest
+
+from repro.core.pgp import layer_importance
+from repro.nn.arena import (
+    AggregateView,
+    ArenaLayout,
+    ArenaView,
+    ParamArena,
+    arena_of,
+    flat_layer_importance,
+    merge_slices,
+)
+from repro.nn.models.registry import get_card
+
+
+def _layout():
+    return ArenaLayout(
+        {"a": ("a.w", "a.b"), "b": ("b.w", "b.b"), "c": ("c.w",)},
+        {
+            "a.w": (2, 3),
+            "a.b": (3,),
+            "b.w": (4, 3),
+            "b.b": (3,),
+            "c.w": (5,),
+        },
+    )
+
+
+def test_merge_slices_coalesces_adjacent_runs():
+    assert merge_slices([]) == []
+    got = merge_slices([slice(3, 6), slice(0, 3), slice(10, 12)])
+    assert got == [slice(0, 6), slice(10, 12)]
+    # overlap also merges
+    assert merge_slices([slice(0, 4), slice(2, 8)]) == [slice(0, 8)]
+
+
+def test_layout_offsets_follow_layer_order():
+    layout = _layout()
+    assert layout.names == ("a.w", "a.b", "b.w", "b.b", "c.w")
+    assert layout.size == 6 + 3 + 12 + 3 + 5
+    assert layout.name_slices["a.w"] == slice(0, 6)
+    assert layout.name_slices["b.w"] == slice(9, 21)
+    assert layout.layer_slices["a"] == slice(0, 9)
+    assert layout.layer_slices["b"] == slice(9, 24)
+    assert layout.slices_of(("a.w", "a.b", "b.w")) == [slice(0, 21)]
+    # cached: same key returns the same object
+    assert layout.slices_of(("a.w",)) is layout.slices_of(("a.w",))
+
+
+def test_sum_groups_cover_every_parameter_once():
+    layout = _layout()
+    gather_idx, groups, singles = layout.sum_groups()
+    grouped = [n for _, _, _, names in groups for n in names]
+    single_names = [n for n, _ in singles]
+    assert sorted(grouped + single_names) == sorted(layout.names)
+    # the two size-3 biases batch together; the rest are singletons
+    assert any(names == ("a.b", "b.b") for _, _, _, names in groups)
+    covered = set(gather_idx.tolist())
+    for _, _, _, names in groups:
+        for n in names:
+            sl = layout.name_slices[n]
+            assert set(range(sl.start, sl.stop)) <= covered
+
+
+def test_arena_view_is_live_and_ordered():
+    layout = _layout()
+    plane = layout.new_plane()
+    view = ArenaView(plane, layout)
+    assert view.is_full()
+    view["a.w"][0, 0] = 7.0
+    assert plane[0] == 7.0
+    plane[9] = -2.0
+    assert view["b.w"].flat[0] == -2.0
+    assert list(view) == list(layout.names)
+    sub = view.restrict(["a.b", "b.b"])
+    assert not sub.is_full()
+    assert list(sub) == ["a.b", "b.b"]
+    with pytest.raises(KeyError):
+        sub["a.w"]
+    with pytest.raises(KeyError):
+        view.restrict(["nope"])
+
+
+def test_aggregate_view_tracks_live_seen_set():
+    layout = _layout()
+    plane = layout.new_plane()
+    seen: set = set()
+    agg = AggregateView(plane, layout, seen)
+    assert "a.w" not in agg
+    with pytest.raises(KeyError):
+        agg["a.w"]
+    seen.update(["a.w", "a.b"])
+    assert len(agg) == 2
+    assert list(agg) == ["a.w", "a.b"]
+    np.testing.assert_array_equal(agg["a.w"], np.zeros((2, 3)))
+
+
+def test_param_arena_binds_module_parameters():
+    card = get_card("resnet50-cifar10")
+    model = card.make_mini(seed=0)
+    before = {n: p.data.copy() for n, p in model.named_parameters()}
+    arena = ParamArena(model)
+    assert arena_of(model) is arena
+    for name, p in model.named_parameters():
+        np.testing.assert_array_equal(p.data, before[name])
+        assert np.shares_memory(p.data, arena.flat)  # a view into the plane
+    # in-place parameter updates land in the plane
+    name0 = arena.layout.names[0]
+    p0 = dict(model.named_parameters())[name0]
+    p0.data[...] = 3.5
+    assert (arena.flat[arena.layout.name_slices[name0]] == 3.5).all()
+
+
+def test_gather_grads_returns_fresh_plane_each_call():
+    card = get_card("resnet50-cifar10")
+    model = card.make_mini(seed=0)
+    arena = ParamArena(model)
+    for _, p in model.named_parameters():
+        p.grad = np.ones_like(p.data)
+    g1 = arena.gather_grads()
+    g2 = arena.gather_grads()
+    assert g1.plane is not g2.plane
+    assert g1.is_full()
+    np.testing.assert_array_equal(g1.plane, g2.plane)
+
+
+def test_flat_layer_importance_matches_dict_path_bitwise():
+    card = get_card("inceptionv3-cifar100")
+    model = card.make_mini(seed=0)
+    arena = ParamArena(model)
+    layout = arena.layout
+    rng = np.random.default_rng(42)
+    grads_plane = rng.standard_normal(layout.size) * 10.0
+    seen = set(layout.names)
+    agg = AggregateView(grads_plane, layout, seen)
+    flat = flat_layer_importance(agg, arena.view(), layout.layer_params)
+    dict_grads = {n: np.asarray(agg[n]) for n in layout.names}
+    dict_params = {n: p.data for n, p in model.named_parameters()}
+    ref = layer_importance(dict_grads, dict_params, layout.layer_params)
+    assert flat.keys() == ref.keys()
+    for layer in ref:
+        assert repr(flat[layer]) == repr(ref[layer]), layer
+
+
+def test_flat_layer_importance_unseen_layer_is_inf():
+    layout = _layout()
+    params = ArenaView(layout.new_plane(), layout)
+    seen = {"a.w", "a.b", "b.w"}  # b.b missing -> layer b unseen
+    agg = AggregateView(layout.new_plane(), layout, seen)
+    out = flat_layer_importance(agg, params, layout.layer_params)
+    assert out["a"] == 0.0
+    assert out["b"] == float("inf")
+    assert out["c"] == float("inf")

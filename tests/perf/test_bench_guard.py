@@ -1,0 +1,64 @@
+"""Tier-1 guard over the committed perf baseline.
+
+Fails when ``BENCH_hotpath.json`` is missing, missing a schema field, or
+records a guarded speedup below 1.0 — i.e. when the flat-arena hot path
+has regressed to (or below) the dict-path baseline it replaced.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+from repro.perf.hotpath import (
+    BENCH_SCHEMA,
+    GUARDED_SPEEDUPS,
+    REQUIRED_FIELDS,
+    get_path,
+    validate_bench,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_hotpath.json"
+
+
+def _load():
+    assert BENCH_PATH.exists(), (
+        f"{BENCH_PATH} missing — regenerate with `make perf-full` "
+        "(or `python -m repro perf`)"
+    )
+    return json.loads(BENCH_PATH.read_text())
+
+
+def test_committed_bench_has_all_schema_fields():
+    data = _load()
+    assert data["schema"] == BENCH_SCHEMA
+    for field in REQUIRED_FIELDS:
+        get_path(data, field)  # KeyError -> test failure names the field
+
+
+def test_committed_bench_speedups_not_regressed():
+    problems = validate_bench(_load(), min_speedup=1.0)
+    assert problems == []
+
+
+def test_committed_bench_parity_flags_true():
+    data = _load()
+    assert data["end_to_end"]["numeric"]["identical"] is True
+    assert data["sweep"]["identical"] is True
+    assert data["end_to_end"]["timing"]["virtual_match"] is True
+
+
+def test_validate_bench_flags_missing_field_and_regression():
+    data = _load()
+    broken = copy.deepcopy(data)
+    del broken["micro"]["ps_apply"]["speedup"]
+    assert any("micro.ps_apply.speedup" in p for p in validate_bench(broken))
+
+    slow = copy.deepcopy(data)
+    slow["micro"]["pgp"]["speedup"] = 0.5
+    assert any("regression" in p for p in validate_bench(slow))
+
+    wrong = copy.deepcopy(data)
+    wrong["schema"] = "bogus/v0"
+    assert any("schema mismatch" in p for p in validate_bench(wrong))
+
+    assert GUARDED_SPEEDUPS  # the guard list itself must not be empty
