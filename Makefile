@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full perf perf-full faults trace examples clean
+.PHONY: install test bench bench-full perf perf-full faults ckpt trace examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -28,6 +28,18 @@ perf-full:
 faults:
 	pytest tests/cluster/test_faults.py -q
 	pytest benchmarks/bench_fault_robustness.py --benchmark-only -s
+
+# Checkpoint smoke: checkpointed run -> inspect the snapshot -> resume it,
+# then the checkpoint/restore tier-1 tests.
+ckpt:
+	rm -rf /tmp/repro-ckpt-smoke && mkdir -p /tmp/repro-ckpt-smoke
+	PYTHONPATH=src python -m repro run --sync osp --workers 4 --epochs 6 \
+	  --iterations 3 --checkpoint-every 2 --checkpoint-dir /tmp/repro-ckpt-smoke
+	PYTHONPATH=src python -m repro ckpt inspect /tmp/repro-ckpt-smoke/ckpt-epoch0002.npz
+	PYTHONPATH=src python -m repro run --sync osp --workers 4 --epochs 6 \
+	  --iterations 3 --checkpoint-every 2 --checkpoint-dir /tmp/repro-ckpt-smoke-resumed \
+	  --resume /tmp/repro-ckpt-smoke/ckpt-epoch0002.npz
+	PYTHONPATH=src pytest tests/ckpt/ -q
 
 # Observability smoke: run a traced OSP workload, validate the unified
 # trace's schema, and render the overlap report from the file.

@@ -1,0 +1,285 @@
+"""Checkpoint snapshot format: capture, serialise, and re-apply run state.
+
+A checkpoint is one ``.npz`` file holding a JSON metadata blob (under the
+reserved ``__meta__`` key) plus the numeric planes:
+
+- ``ps/params``, ``ps/velocity``, ``ps/aggregate`` — the parameter
+  server's parameter, momentum, and last-aggregated-gradient planes, laid
+  out by :class:`repro.nn.arena.ArenaLayout`.  The planes are packed from
+  the flat arena when ``REPRO_FLAT_ARENA`` is on and from the per-layer
+  dicts otherwise, so a checkpoint is bit-identical either way and can be
+  restored under either setting.
+- ``replica/{w}`` — each worker's local model plane.
+- ``sync/...`` — sync-model-owned arrays (e.g. EMA-LGP state).
+
+Everything else (epoch counters, GIB bitmap, SGuTuner state, jitter RNG
+streams, fault schedules, the recorder) travels in the metadata blob.
+Writes are atomic (tmp file + ``os.replace``) and the format is versioned;
+loading a mismatched version raises :class:`CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.metrics.export import recorder_from_dict, recorder_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.trainer import DistributedTrainer
+
+FORMAT_VERSION = 1
+
+_META_KEY = "__meta__"
+_SYNC_PREFIX = "sync/"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint cannot be loaded or applied to this trainer."""
+
+
+@dataclass
+class Checkpoint:
+    """In-memory checkpoint: JSON-able metadata plus named float planes."""
+
+    meta: dict
+    arrays: dict[str, np.ndarray]
+
+    @property
+    def format_version(self) -> int:
+        return int(self.meta["format_version"])
+
+    @property
+    def next_epoch(self) -> int:
+        """First epoch the resumed run will execute (0-indexed)."""
+        return int(self.meta["next_epoch"])
+
+    @property
+    def time(self) -> float:
+        """Virtual clock at the snapshot instant."""
+        return float(self.meta["time"])
+
+    def sync_arrays(self) -> dict[str, np.ndarray]:
+        """Arrays owned by the sync model, with the ``sync/`` prefix stripped."""
+        return {
+            key[len(_SYNC_PREFIX):]: arr
+            for key, arr in self.arrays.items()
+            if key.startswith(_SYNC_PREFIX)
+        }
+
+
+def write_checkpoint(ckpt: Checkpoint, path: str | Path) -> Path:
+    """Atomically write ``ckpt`` to ``path`` (tmp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta_bytes = np.frombuffer(json.dumps(ckpt.meta).encode("utf-8"), dtype=np.uint8)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as f:
+            np.savez(f, **{_META_KEY: meta_bytes}, **ckpt.arrays)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # a failed write must not leave debris behind
+            tmp.unlink()
+    return path
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Load a checkpoint, refusing unknown formats and versions."""
+    path = Path(path)
+    with np.load(path) as data:
+        if _META_KEY not in data.files:
+            raise CheckpointError(f"{path}: not a repro checkpoint (missing metadata entry)")
+        meta = json.loads(bytes(data[_META_KEY].tobytes()).decode("utf-8"))
+        version = meta.get("format_version")
+        if version != FORMAT_VERSION:
+            raise CheckpointError(
+                f"{path}: checkpoint format version {version!r} is not supported "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        arrays = {key: data[key] for key in data.files if key != _META_KEY}
+    return Checkpoint(meta=meta, arrays=arrays)
+
+
+def latest_checkpoint(directory: str | Path) -> Optional[Path]:
+    """Newest checkpoint file in ``directory`` by epoch number, or None."""
+    paths = sorted(Path(directory).glob("ckpt-epoch*.npz"))
+    return paths[-1] if paths else None
+
+
+def capture(
+    trainer: "DistributedTrainer",
+    next_epoch: int,
+    release_order: Optional[list[int]] = None,
+    ics_policy: str = "drain",
+    ics_discarded_bytes: float = 0.0,
+) -> Checkpoint:
+    """Snapshot ``trainer`` at an epoch boundary.
+
+    ``next_epoch`` is the first epoch a resumed run will execute;
+    ``release_order`` records the order workers arrived at the checkpoint
+    barrier so the resumed run can recreate worker processes in the same
+    order (event-id tie-breaks, and therefore gradient summation order,
+    depend on it).
+    """
+    ctx = trainer.ctx
+    ps, engine, spec, plan = trainer.ps, trainer.engine, trainer.spec, trainer.plan
+    numeric = ps.numeric
+
+    jitter_state_fn = getattr(spec.jitter, "state_dict", None)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "next_epoch": int(next_epoch),
+        "time": float(ctx.env.now),
+        "sync": trainer.sync_model.name,
+        "mode": "numeric" if numeric else "timing",
+        "n_workers": spec.n_workers,
+        "iterations_per_epoch": trainer.iterations_per_epoch,
+        "plan": {
+            "n_epochs": plan.n_epochs,
+            "lr": plan.lr,
+            "momentum": plan.momentum,
+            "weight_decay": plan.weight_decay,
+            "seed": plan.seed,
+        },
+        "alive": sorted(ctx._alive),
+        "failure_schedule": {str(w): e for w, e in ctx._failure_schedule.items()},
+        "restart_schedule": {str(w): e for w, e in ctx._restart_schedule.items()},
+        "recover_modes": {str(w): m for w, m in ctx._recover_modes.items()},
+        "join_schedule": {str(w): e for w, e in ctx._join_schedule.items()},
+        "leave_schedule": {str(w): e for w, e in ctx._leave_schedule.items()},
+        "early_stop": {
+            "best_metric": float(ctx._best_metric),
+            "epochs_since_improvement": int(ctx._epochs_since_improvement),
+            "stop_after_epoch": ctx._stop_after_epoch,
+        },
+        "lr": float(ps.optimizer.lr) if ps.optimizer is not None else None,
+        "release_order": list(release_order) if release_order else None,
+        "ics": {"policy": ics_policy, "discarded_bytes": float(ics_discarded_bytes)},
+        "jitter": jitter_state_fn() if jitter_state_fn is not None else None,
+        "engine_state": engine.checkpoint_state(),
+        "sync_state": trainer.sync_model.checkpoint_state(ctx),
+        "recorder": recorder_to_dict(ctx.recorder),
+    }
+
+    arrays: dict[str, np.ndarray] = {}
+    if numeric:
+        layout = engine.state_layout()
+        meta["params"] = {
+            "names": list(layout.names),
+            "sizes": [int(np.prod(layout.shapes[n], dtype=np.int64)) for n in layout.names],
+        }
+        arrays["ps/params"] = ps.params_plane(layout)
+        arrays["ps/velocity"] = ps.optimizer.velocity_plane(layout)
+        agg_plane, agg_seen = ps.aggregate_state(layout)
+        arrays["ps/aggregate"] = agg_plane
+        meta["aggregate_seen"] = list(agg_seen)
+        for w in range(spec.n_workers):
+            arrays[f"replica/{w}"] = engine.replica_plane(w)
+    for key, arr in trainer.sync_model.checkpoint_arrays(ctx).items():
+        arrays[_SYNC_PREFIX + key] = np.asarray(arr)
+    return Checkpoint(meta=meta, arrays=arrays)
+
+
+def apply_checkpoint(trainer: "DistributedTrainer", ckpt: Checkpoint) -> None:
+    """Load ``ckpt`` into a freshly-constructed trainer.
+
+    Called from ``DistributedTrainer.__init__`` after the optimizer, LR
+    scheduler, and fault injector exist: the restored LR must not disturb
+    ``StepLR``'s captured base rate, and the restored failure schedules
+    must overwrite the ones the injector re-registered.  Sync-model state
+    is applied later, in ``run()``, once ``setup()`` has built it.
+    """
+    meta = ckpt.meta
+    ctx, ps, engine = trainer.ctx, trainer.ps, trainer.engine
+    mode = "numeric" if ps.numeric else "timing"
+    if meta["mode"] != mode:
+        raise CheckpointError(f"checkpoint is a {meta['mode']} run; this trainer is {mode}")
+    if meta["sync"] != trainer.sync_model.name:
+        raise CheckpointError(
+            f"checkpoint was written by sync model {meta['sync']!r}, "
+            f"not {trainer.sync_model.name!r}"
+        )
+    if meta["n_workers"] != trainer.spec.n_workers:
+        raise CheckpointError(
+            f"checkpoint has {meta['n_workers']} workers; spec has {trainer.spec.n_workers}"
+        )
+    if meta["iterations_per_epoch"] != trainer.iterations_per_epoch:
+        raise CheckpointError("iterations-per-epoch differs from the checkpointed run")
+    if meta["next_epoch"] > trainer.plan.n_epochs:
+        raise CheckpointError(
+            f"checkpoint resumes at epoch {meta['next_epoch']} but the plan "
+            f"only has {trainer.plan.n_epochs} epochs"
+        )
+
+    if ps.numeric:
+        layout = engine.state_layout()
+        fingerprint = meta.get("params", {})
+        names = list(layout.names)
+        sizes = [int(np.prod(layout.shapes[n], dtype=np.int64)) for n in names]
+        if fingerprint.get("names") != names or fingerprint.get("sizes") != sizes:
+            raise CheckpointError("model parameter layout differs from the checkpointed run")
+        ps.load_params_plane(layout, ckpt.arrays["ps/params"])
+        ps.optimizer.load_velocity_plane(layout, ckpt.arrays["ps/velocity"])
+        ps.load_aggregate_state(layout, ckpt.arrays["ps/aggregate"], meta.get("aggregate_seen", []))
+        for w in range(trainer.spec.n_workers):
+            engine.load_replica_plane(w, ckpt.arrays[f"replica/{w}"])
+        if meta.get("lr") is not None:
+            ps.optimizer.lr = float(meta["lr"])
+
+    engine.restore_checkpoint_state(meta.get("engine_state", {}))
+
+    jitter_state = meta.get("jitter")
+    if jitter_state is not None:
+        load = getattr(trainer.spec.jitter, "load_state", None)
+        if load is None:
+            raise CheckpointError(
+                "checkpoint carries jitter RNG state but this spec's jitter "
+                "model cannot restore it"
+            )
+        load(jitter_state)
+
+    ctx.load_checkpoint_meta(meta)
+    ctx.recorder.restore_from(recorder_from_dict(meta["recorder"]))
+
+
+def describe(ckpt: Checkpoint) -> dict:
+    """Human/JSON-friendly summary of a checkpoint (for ``repro ckpt inspect``)."""
+    meta = ckpt.meta
+    recorder = meta.get("recorder", {})
+    return {
+        "format_version": ckpt.format_version,
+        "mode": meta.get("mode"),
+        "sync": meta.get("sync"),
+        "next_epoch": ckpt.next_epoch,
+        "time": ckpt.time,
+        "n_workers": meta.get("n_workers"),
+        "alive": meta.get("alive"),
+        "ics_policy": meta.get("ics", {}).get("policy"),
+        "ics_discarded_bytes": meta.get("ics", {}).get("discarded_bytes"),
+        "epochs_recorded": len(recorder.get("epochs", [])),
+        "iterations_recorded": len(recorder.get("iterations", [])),
+        "counters": dict(recorder.get("counters", {})),
+        "arrays": {
+            key: {"size": int(arr.size), "dtype": str(arr.dtype)}
+            for key, arr in sorted(ckpt.arrays.items())
+        },
+    }
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "apply_checkpoint",
+    "capture",
+    "describe",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "write_checkpoint",
+]

@@ -7,6 +7,7 @@ Commands
 ``compare``  all four paper sync models on one workload
 ``figures``  list the figure-regeneration benchmarks
 ``cards``    list the model cards (paper-scale workload descriptions)
+``ckpt``     checkpoint tools (``ckpt inspect FILE``)
 
 Examples
 --------
@@ -68,10 +69,19 @@ def _build_trainer(args, sync_name: str):
         faults=faults,
     )
     sync = SYNC_FACTORIES[sync_name]()
+    trainer_kwargs = {}
+    if getattr(args, "checkpoint_every", None):
+        trainer_kwargs["checkpoint_every"] = args.checkpoint_every
+        trainer_kwargs["checkpoint_dir"] = args.checkpoint_dir or "checkpoints"
+        trainer_kwargs["checkpoint_policy"] = args.checkpoint_policy
+    if getattr(args, "resume", None):
+        trainer_kwargs["resume_from"] = args.resume
     if args.mode == "timing":
-        return timing_trainer(cfg, sync)
+        return timing_trainer(cfg, sync, **trainer_kwargs)
     data = make_numeric_dataset(cfg.card, n_samples=args.samples, seed=args.seed)
-    return numeric_trainer(cfg, sync, data=data, batch_size=args.batch_size)
+    return numeric_trainer(
+        cfg, sync, data=data, batch_size=args.batch_size, **trainer_kwargs
+    )
 
 
 def _result_row(res):
@@ -235,6 +245,33 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_ckpt(args) -> int:
+    from repro.ckpt import CheckpointError, describe, load_checkpoint
+
+    try:
+        ckpt = load_checkpoint(args.file)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    info = describe(ckpt)
+    if args.json:
+        print(json.dumps(info))
+        return 0
+    arrays = info.pop("arrays")
+    counters = info.pop("counters")
+    for key, value in info.items():
+        print(f"{key:<22} {value}")
+    if counters:
+        print("counters")
+        for name in sorted(counters):
+            print(f"  {name:<28} {counters[name]}")
+    print(f"arrays ({len(arrays)})")
+    for name in sorted(arrays):
+        meta = arrays[name]
+        print(f"  {name:<28} {meta['size']:>10}  {meta['dtype']}")
+    return 0
+
+
 def cmd_figures(_args) -> int:
     print(
         "Figure-regeneration benchmarks (run with "
@@ -291,6 +328,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--trace", metavar="FILE", help="write a Chrome-tracing timeline JSON"
     )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, metavar="N",
+        help="write a checkpoint every N epochs",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="checkpoint directory (default: ./checkpoints)",
+    )
+    p_run.add_argument(
+        "--checkpoint-policy", default="drain", choices=["drain", "discard"],
+        help="in-flight ICS traffic at a snapshot: drain to a barrier "
+        "or discard (recorded as ckpt.ics_discarded_bytes)",
+    )
+    p_run.add_argument(
+        "--resume", metavar="FILE", help="resume from a checkpoint file"
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_rep = sub.add_parser(
@@ -310,6 +363,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_figs = sub.add_parser("figures", help="list figure benchmarks")
     p_figs.set_defaults(fn=cmd_figures)
+
+    p_ckpt = sub.add_parser("ckpt", help="checkpoint tools")
+    ckpt_sub = p_ckpt.add_subparsers(dest="ckpt_command", required=True)
+    p_inspect = ckpt_sub.add_parser(
+        "inspect", help="summarise a checkpoint file (meta + array inventory)"
+    )
+    p_inspect.add_argument("file", help="path to a ckpt-epoch*.npz file")
+    p_inspect.add_argument("--json", action="store_true", help="emit JSON")
+    p_inspect.set_defaults(fn=cmd_ckpt)
 
     p_perf = sub.add_parser(
         "perf",

@@ -16,7 +16,13 @@ Communication times always come from :mod:`repro.netsim`; compute times
 from :mod:`repro.hardware`.
 """
 
-from repro.cluster.spec import ClusterSpec, TrainingPlan
+from repro.cluster.spec import (
+    ClusterSpec,
+    MembershipSchedule,
+    TrainingPlan,
+    WorkerJoin,
+    WorkerLeave,
+)
 from repro.cluster.ps import ParameterServer
 from repro.cluster.engines import Engine, NumericEngine, TimingEngine
 from repro.cluster.context import TrainerContext
@@ -26,10 +32,13 @@ __all__ = [
     "ClusterSpec",
     "DistributedTrainer",
     "Engine",
+    "MembershipSchedule",
     "NumericEngine",
     "ParameterServer",
     "TimingEngine",
     "TrainerContext",
     "TrainingPlan",
     "TrainingResult",
+    "WorkerJoin",
+    "WorkerLeave",
 ]

@@ -12,7 +12,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.cluster.ps import ParameterServer
-from repro.cluster.spec import ClusterSpec, TrainingPlan
+from repro.cluster.spec import ClusterSpec, TrainingPlan, WorkerJoin
 from repro.metrics.recorder import EpochRecord, IterationRecord, Recorder
 from repro.netsim.network import Network
 from repro.obs.tracer import NULL_TRACER
@@ -51,6 +51,23 @@ class TrainerContext:
         self._alive = set(range(spec.n_workers))
         self._failure_schedule: dict[int, int] = {}
         self._restart_schedule: dict[int, int] = {}
+        self._recover_modes: dict[int, str] = {}
+        #: first epoch this run executes (> 0 when resumed from a checkpoint)
+        self.start_epoch = 0
+        #: the run's CheckpointManager, set by the trainer when enabled
+        self.checkpoints = None
+        #: called with the new alive-count after every membership change
+        #: (crash, restart, elastic join/leave); OSP re-derives U_max here
+        self.membership_hooks: list = []
+        self._join_schedule: dict[int, int] = {}
+        self._leave_schedule: dict[int, int] = {}
+        if spec.membership is not None:
+            for ev in spec.membership.events:
+                if isinstance(ev, WorkerJoin):
+                    self._join_schedule[ev.worker] = ev.epoch
+                    self._alive.discard(ev.worker)
+                else:
+                    self._leave_schedule[ev.worker] = ev.epoch
         self._epoch_arrivals: dict[int, int] = {}
         self._epoch_losses: dict[int, list[float]] = {}
         self._completed: set[int] = set()
@@ -101,7 +118,11 @@ class TrainerContext:
         return frozenset(self._alive)
 
     def schedule_failure(
-        self, worker: int, before_epoch: int, restart_epoch: Optional[int] = None
+        self,
+        worker: int,
+        before_epoch: int,
+        restart_epoch: Optional[int] = None,
+        recover: str = "cold",
     ) -> None:
         """Inject a crash: ``worker`` dies before starting ``before_epoch``.
 
@@ -114,6 +135,9 @@ class TrainerContext:
 
         ``restart_epoch`` (optional) makes this a crash/restart cycle: the
         worker rejoins once the survivors finish epoch ``restart_epoch−1``.
+        ``recover="checkpoint"`` makes the restarted worker resume its
+        replica from the latest checkpoint instead of cold-syncing from the
+        PS (requires the run to have a checkpoint manager).
         """
         if not (0 <= worker < self.spec.n_workers):
             raise ValueError(f"unknown worker {worker}")
@@ -121,9 +145,12 @@ class TrainerContext:
             raise ValueError("workers can only fail after completing an epoch")
         if restart_epoch is not None and restart_epoch <= before_epoch:
             raise ValueError("restart_epoch must be after before_epoch")
+        if recover not in ("cold", "checkpoint"):
+            raise ValueError(f"recover must be 'cold' or 'checkpoint', got {recover!r}")
         self._failure_schedule[worker] = before_epoch
         if restart_epoch is not None:
             self._restart_schedule[worker] = restart_epoch
+        self._recover_modes[worker] = recover
 
     def should_fail(self, worker: int, epoch: int) -> bool:
         """Does the injected fault schedule kill this worker now?"""
@@ -143,14 +170,17 @@ class TrainerContext:
         # Consume the schedule entry so a restarted worker does not re-crash.
         self._failure_schedule.pop(worker, None)
         if self._alive:
-            for barrier in self._quorum_barriers:
-                barrier.set_parties(len(self._alive))
+            self._notify_membership()
             for epoch in sorted(self._epoch_arrivals):
                 self._maybe_complete_epoch(epoch)
         return self._restart_schedule.pop(worker, None)
 
     def revive_worker(self, worker: int) -> bool:
-        """Re-admit a restarted worker (replica re-synced from the PS).
+        """Re-admit a restarted worker.
+
+        The replica is cold-synced from the PS unless the worker's crash
+        was scheduled with ``recover="checkpoint"`` and a snapshot is
+        available, in which case it resumes from the checkpointed replica.
 
         Returns False — and leaves the worker retired — if early stopping
         already ended the run; rejoining closed epochs would hang.
@@ -162,10 +192,123 @@ class TrainerContext:
         self.trace.instant(
             "faults.worker_restart", actor="faults", track="faults", worker=worker
         )
+        self._notify_membership()
+        recovered = False
+        if self._recover_modes.get(worker) == "checkpoint" and self.checkpoints is not None:
+            recovered = self.checkpoints.recover_worker(worker)
+            if recovered:
+                self.recorder.incr("ckpt.worker_recover")
+                self.trace.instant(
+                    "ckpt.worker_recover", actor="ckpt", track="ckpt", worker=worker
+                )
+        if not recovered:
+            self.engine.sync_replica(worker, self.ps)
+        return True
+
+    def _notify_membership(self) -> None:
+        """Resize quorum barriers and tell listeners the cluster changed size."""
+        n = len(self._alive)
         for barrier in self._quorum_barriers:
-            barrier.set_parties(len(self._alive))
+            barrier.set_parties(max(1, n))
+        for hook in self.membership_hooks:
+            hook(n)
+
+    # -- elastic membership ---------------------------------------------------
+    def entry_epoch(self, worker: int) -> Optional[int]:
+        """First epoch ``worker`` participates in, or None if it never will.
+
+        ``start_epoch`` for initially-present workers; the scheduled join
+        epoch for elastic joiners; the restart epoch for workers whose
+        crash/restart cycle spans a checkpoint resume.
+        """
+        if worker in self._alive:
+            return self.start_epoch
+        join = self._join_schedule.get(worker)
+        if join is not None and join > self.start_epoch:
+            return join
+        restart = self._restart_schedule.get(worker)
+        if restart is not None and restart > self.start_epoch:
+            return restart
+        return None
+
+    def admit_worker(self, worker: int) -> bool:
+        """Bring an absent worker in at an epoch boundary (elastic join, or
+        a restart whose crash happened before a checkpoint resume)."""
+        if worker in self._join_schedule and worker not in self._restart_schedule:
+            return self.join_worker(worker)
+        self._restart_schedule.pop(worker, None)
+        return self.revive_worker(worker)
+
+    def join_worker(self, worker: int) -> bool:
+        """Elastic join: admit a brand-new worker with a fresh model copy."""
+        if self.stopped:
+            return False
+        self._alive.add(worker)
+        self._join_schedule.pop(worker, None)
+        self.recorder.incr("elastic.worker_join")
+        self.trace.instant(
+            "elastic.worker_join", actor="elastic", track="elastic", worker=worker
+        )
+        self._notify_membership()
         self.engine.sync_replica(worker, self.ps)
         return True
+
+    def should_leave(self, worker: int, epoch: int) -> bool:
+        """Does the membership schedule retire this worker at this boundary?"""
+        target = self._leave_schedule.get(worker)
+        return target is not None and epoch >= target
+
+    def depart_worker(self, worker: int) -> None:
+        """Elastic leave: gracefully remove a worker at an epoch boundary."""
+        if worker not in self._alive:
+            return
+        self._alive.discard(worker)
+        self._leave_schedule.pop(worker, None)
+        self.recorder.incr("elastic.worker_leave")
+        self.trace.instant(
+            "elastic.worker_leave", actor="elastic", track="elastic", worker=worker
+        )
+        if self._alive:
+            self._notify_membership()
+            for epoch in sorted(self._epoch_arrivals):
+                self._maybe_complete_epoch(epoch)
+
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint_pause(self, worker: int, epoch: int):
+        """Generator: epoch-boundary checkpoint barrier (no-op when no
+        manager is attached or the epoch is not a checkpoint boundary)."""
+        manager = self.checkpoints
+        if manager is not None:
+            yield from manager.pause(self, worker, epoch)
+
+    def checkpoint_gate(self, epoch: int):
+        """Pending checkpoint-release event for ``epoch``, or None.
+
+        Workers admitted at a boundary yield this so they cannot race
+        ahead of an in-progress snapshot drain.
+        """
+        manager = self.checkpoints
+        if manager is None:
+            return None
+        return manager.gate(epoch)
+
+    def load_checkpoint_meta(self, meta: dict) -> None:
+        """Restore context state from a checkpoint's metadata blob."""
+        self.start_epoch = int(meta["next_epoch"])
+        self._alive = set(int(w) for w in meta["alive"])
+        self._failure_schedule = {int(w): int(e) for w, e in meta["failure_schedule"].items()}
+        self._restart_schedule = {int(w): int(e) for w, e in meta["restart_schedule"].items()}
+        self._recover_modes = {int(w): str(m) for w, m in meta.get("recover_modes", {}).items()}
+        self._join_schedule = {int(w): int(e) for w, e in meta.get("join_schedule", {}).items()}
+        self._leave_schedule = {int(w): int(e) for w, e in meta.get("leave_schedule", {}).items()}
+        # Epochs before the resume point are history; completion events for
+        # them must fire immediately (restarting workers may wait on them).
+        self._completed = set(range(self.start_epoch))
+        early = meta.get("early_stop", {})
+        self._best_metric = float(early.get("best_metric", -np.inf))
+        self._epochs_since_improvement = int(early.get("epochs_since_improvement", 0))
+        stop_after = early.get("stop_after_epoch")
+        self._stop_after_epoch = None if stop_after is None else int(stop_after)
 
     def epoch_completion(self, epoch: int) -> Event:
         """Event that succeeds once ``epoch`` has been completed by all

@@ -35,6 +35,8 @@ from repro.nn.arena import (
     ParamArena,
     arena_of,
     flat_layer_importance,
+    pack_plane,
+    unpack_plane,
 )
 from repro.nn.loss import accuracy, cross_entropy, qa_span_accuracy, qa_span_loss
 from repro.nn.models.registry import BYTES_PER_PARAM, ModelCard, synthetic_layer_sizes
@@ -123,6 +125,14 @@ class Engine:
     def ps_layer_importance(self, ps: ParameterServer) -> dict[str, float]:
         """PGP layer importance from the PS's state (Eq. 4)."""
         raise NotImplementedError
+
+    # -- checkpointing -------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """JSON-able engine state beyond the parameter planes (default none)."""
+        return {}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`checkpoint_state`."""
 
 
 class NumericEngine(Engine):
@@ -216,6 +226,7 @@ class NumericEngine(Engine):
             self._global_arena = None
             self._replica_arenas = [None] * spec.n_workers
             self._eval_arena = None
+        self._ckpt_layout: Optional[ArenaLayout] = None
 
     @property
     def iterations_per_epoch(self) -> int:
@@ -316,6 +327,41 @@ class NumericEngine(Engine):
                 metric = qa_span_accuracy(s_logits, e_logits, y[:, 0], y[:, 1])
         self._trace_eval(metric, iterations_done)
         return metric
+
+    def state_layout(self) -> ArenaLayout:
+        """Layout used to (de)serialise checkpoint planes.
+
+        The arena layout when one exists; otherwise an equivalent layout is
+        built on demand so dict-mode checkpoints have the same byte layout.
+        """
+        if self._layout is not None:
+            return self._layout
+        if self._ckpt_layout is None:
+            shapes = {n: p.data.shape for n, p in self.global_model.named_parameters()}
+            self._ckpt_layout = ArenaLayout(self.splitter.layer_params, shapes)
+        return self._ckpt_layout
+
+    def replica_plane(self, worker: int) -> np.ndarray:
+        """Worker replica's parameters packed into one plane (checkpointing)."""
+        arena = self._replica_arenas[worker]
+        if arena is not None:
+            return arena.flat.copy()
+        return pack_plane(
+            self.state_layout(),
+            {n: p.data for n, p in self.replicas[worker].named_parameters()},
+        )
+
+    def load_replica_plane(self, worker: int, plane: np.ndarray) -> None:
+        """Restore a worker replica from a checkpoint plane, in place."""
+        arena = self._replica_arenas[worker]
+        if arena is not None:
+            arena.flat[:] = plane
+            return
+        unpack_plane(
+            self.state_layout(),
+            plane,
+            {n: p.data for n, p in self.replicas[worker].named_parameters()},
+        )
 
     def ps_layer_importance(self, ps: ParameterServer) -> dict[str, float]:
         grads = ps.last_aggregated
@@ -431,6 +477,22 @@ class TimingEngine(Engine):
 
     def ps_layer_importance(self, ps: ParameterServer) -> dict[str, float]:
         return dict(self._importance)
+
+    def checkpoint_state(self) -> dict:
+        # The synthetic loss curve is a function of per-worker step counts;
+        # they are the engine's only mutable state.
+        return {"steps_done": [int(s) for s in self._steps_done]}
+
+    def restore_checkpoint_state(self, state: dict) -> None:
+        steps = state.get("steps_done")
+        if steps is None:
+            return
+        if len(steps) != self.spec.n_workers:
+            raise ValueError(
+                f"checkpoint has {len(steps)} worker step counts; spec has "
+                f"{self.spec.n_workers} workers"
+            )
+        self._steps_done = np.asarray(steps, dtype=np.int64)
 
 
 __all__ = ["Engine", "NumericEngine", "TimingEngine"]

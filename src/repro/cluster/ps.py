@@ -21,7 +21,7 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.nn.arena import AggregateView, ArenaView, arena_of
+from repro.nn.arena import AggregateView, ArenaView, arena_of, pack_plane, unpack_plane
 from repro.nn.module import Module
 from repro.optim.sgd import SGD
 
@@ -287,6 +287,51 @@ class ParameterServer:
 
     def param_names(self) -> tuple[str, ...]:
         return tuple(self._params.keys())
+
+    # -- checkpoint serialisation ------------------------------------------------
+    def params_plane(self, layout) -> np.ndarray:
+        """Global parameters packed into one plane (checkpoint format).
+
+        Bit-identical whether the PS is arena-backed or dict-backed.
+        """
+        if self.arena is not None:
+            return self.arena.flat.copy()
+        return pack_plane(layout, {n: p.data for n, p in self._params.items()})
+
+    def load_params_plane(self, layout, plane: np.ndarray) -> None:
+        """Restore global parameters from a checkpoint plane, in place."""
+        if self.arena is not None:
+            self.arena.flat[:] = plane
+            return
+        unpack_plane(layout, plane, {n: p.data for n, p in self._params.items()})
+
+    def aggregate_state(self, layout) -> tuple[np.ndarray, tuple[str, ...]]:
+        """``last_aggregated`` as (plane, seen-names) for checkpointing."""
+        if self.arena is not None:
+            return self._agg.copy(), tuple(sorted(self._agg_seen))
+        if self.last_aggregated:
+            return (
+                pack_plane(layout, self.last_aggregated),
+                tuple(sorted(self.last_aggregated)),
+            )
+        return layout.new_plane(), ()
+
+    def load_aggregate_state(self, layout, plane: np.ndarray, seen) -> None:
+        """Restore ``last_aggregated`` captured by :meth:`aggregate_state`.
+
+        With an arena the live seen-set is updated in place — the
+        :class:`AggregateView` in ``last_aggregated`` aliases it.
+        """
+        if self.arena is not None:
+            self._agg[:] = plane
+            self._agg_seen.clear()
+            self._agg_seen.update(seen)
+            return
+        restored = {}
+        for name in seen:
+            shaped = plane[layout.name_slices[name]].reshape(layout.shapes[name])
+            restored[name] = shaped.copy()
+        self.last_aggregated = restored
 
 
 __all__ = ["ParameterServer"]

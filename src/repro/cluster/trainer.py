@@ -4,6 +4,8 @@ and runs the simulation to completion."""
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.cluster.context import TrainerContext
 from repro.cluster.engines import Engine, NumericEngine
@@ -60,6 +62,16 @@ class DistributedTrainer:
         Cluster description, run plan, and the numeric/timing engine.
     sync_model:
         An instance from :mod:`repro.sync` or :mod:`repro.core.osp`.
+    checkpoint_every, checkpoint_dir, checkpoint_policy:
+        Enable periodic checkpointing: every ``checkpoint_every`` epochs the
+        workers pause at the epoch boundary, in-flight ICS traffic is drained
+        (or discarded, per ``checkpoint_policy``), and the full training
+        state is written atomically under ``checkpoint_dir``.
+    resume_from:
+        A checkpoint path (or loaded :class:`repro.ckpt.Checkpoint`) to
+        resume from. The virtual clock, recorder history, schedules and all
+        parameter/momentum/sync state continue from the snapshot, so a
+        resumed run is bit-identical to one that never stopped.
     """
 
     def __init__(
@@ -69,6 +81,10 @@ class DistributedTrainer:
         engine: Engine,
         sync_model,
         topology=None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_policy: str = "drain",
+        resume_from=None,
     ) -> None:
         """``topology`` (optional) overrides the default single-rack star —
         e.g. :func:`repro.netsim.make_multirack_topology` for cross-rack
@@ -80,6 +96,14 @@ class DistributedTrainer:
         self.sync_model = sync_model
         self._topology_override = topology
 
+        if spec.membership is not None and not getattr(
+            sync_model, "supports_elastic", False
+        ):
+            raise ValueError(
+                f"sync model {sync_model.name!r} does not support elastic "
+                "membership changes (supports_elastic is False)"
+            )
+
         ipe = plan.iterations_per_epoch
         if ipe is None:
             if isinstance(engine, NumericEngine):
@@ -90,7 +114,22 @@ class DistributedTrainer:
                 )
         self.iterations_per_epoch = ipe
 
-        self.env = Environment()
+        self._snapshot = None
+        if resume_from is not None:
+            from repro.ckpt import Checkpoint, load_checkpoint
+
+            self._snapshot = (
+                resume_from
+                if isinstance(resume_from, Checkpoint)
+                else load_checkpoint(resume_from)
+            )
+
+        # Resumed runs continue the virtual clock where the snapshot left it,
+        # so traces, iteration timestamps, and fault windows stay on one
+        # coherent timeline.
+        self.env = Environment(
+            initial_time=self._snapshot.time if self._snapshot else 0.0
+        )
         topo = (
             topology
             if topology is not None
@@ -115,6 +154,19 @@ class DistributedTrainer:
                 step_epochs=plan.lr_step_epochs,
                 gamma=plan.lr_gamma,
             )
+        self.checkpoints = None
+        if checkpoint_every is not None:
+            from repro.ckpt import CheckpointManager
+
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every requires checkpoint_dir")
+            self.checkpoints = CheckpointManager(
+                self,
+                every=checkpoint_every,
+                directory=checkpoint_dir,
+                policy=checkpoint_policy,
+            )
+            self.ctx.checkpoints = self.checkpoints
         self.injector = None
         if spec.faults:
             from repro.faults.injector import FaultInjector
@@ -122,6 +174,18 @@ class DistributedTrainer:
             self.injector = FaultInjector(self.ctx, spec.faults)
             self.ctx.faults = self.injector
             self.injector.start()
+        if self._snapshot is not None:
+            # Applied last so the restored failure/restart/membership
+            # schedules overwrite whatever the injector registered above,
+            # and the restored lr overrides the freshly-built scheduler.
+            from repro.ckpt import apply_checkpoint
+
+            apply_checkpoint(self, self._snapshot)
+            if self.checkpoints is not None:
+                # The resumed snapshot is the manager's latest until it
+                # writes its own — checkpoint-mode crash recovery must see
+                # the same "latest" the uninterrupted run saw.
+                self.checkpoints.latest = self._snapshot
 
     def enable_tracing(self):
         """Attach a :class:`repro.obs.Tracer` to every traced component.
@@ -141,9 +205,28 @@ class DistributedTrainer:
     def run(self) -> TrainingResult:
         """Execute the simulation to completion and collect results."""
         self.sync_model.setup(self.ctx)
+        order = list(range(self.spec.n_workers))
+        if self._snapshot is not None:
+            self.sync_model.restore_state(
+                self.ctx,
+                self._snapshot.meta.get("sync_state", {}),
+                self._snapshot.sync_arrays(),
+            )
+            self.recorder.incr("ckpt.restore")
+            self.ctx.trace.instant(
+                "ckpt.restore", actor="ckpt", track="ckpt",
+                next_epoch=self._snapshot.next_epoch,
+            )
+            # Process creation order fixes event-id tie-breaks in the kernel,
+            # which in turn fixes floating-point summation order at the PS.
+            # Recreate workers in the order they arrived at the snapshot
+            # barrier so the resumed timeline matches the uninterrupted one.
+            release = self._snapshot.meta.get("release_order") or []
+            seen = [w for w in release if 0 <= w < self.spec.n_workers]
+            order = seen + [w for w in order if w not in seen]
         procs = [
             self.env.process(self.sync_model.worker_process(self.ctx, w))
-            for w in range(self.spec.n_workers)
+            for w in order
         ]
         # Run until every worker process has finished (not until the event
         # queue drains): wall_time then covers in-flight ICS drain but not

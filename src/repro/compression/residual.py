@@ -26,13 +26,15 @@ class ResidualMemory:
     def compress(self, grads: GradientDict) -> tuple[Any, int]:
         corrected: GradientDict = {}
         for name, g in grads.items():
-            r = self._residual.get(name)
+            r = self._residual.pop(name, None)
             corrected[name] = g + r if r is not None else g.copy()
         payload, wire = self.inner.compress(corrected)
         sent = self.inner.decompress(payload)
-        self._residual = {
-            name: corrected[name] - sent[name] for name in corrected
-        }
+        # Only the keys seen in this call get fresh residuals; residuals for
+        # layers absent from `grads` stay carried forward untouched, so
+        # "delay, don't drop" holds even across disjoint per-call layer sets.
+        for name in corrected:
+            self._residual[name] = corrected[name] - sent[name]
         return payload, wire
 
     def decompress(self, payload: Any) -> GradientDict:

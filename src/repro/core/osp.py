@@ -36,6 +36,8 @@ if TYPE_CHECKING:
 
 from typing import Optional
 
+import numpy as np
+
 from repro.core.gib import GIB
 from repro.core.lgp import EMALGPCorrector, LGPCorrector
 from repro.core.tuning import MAX_MODEL_FRACTION, SGuTuner, ics_upper_bound
@@ -79,6 +81,10 @@ class OSP(SyncModel):
     """
 
     name = "osp"
+
+    #: RS uses a quorum barrier and U_max is re-derived per membership
+    #: change, so elastic join/leave schedules are supported.
+    supports_elastic = True
 
     def __init__(
         self,
@@ -132,16 +138,22 @@ class OSP(SyncModel):
         )
 
         # Eq. 5: the PS-side link is the shared bottleneck for N ICS pushes.
-        route_loss = 1.0 - (1.0 - ctx.spec.link.loss_rate) ** 2
+        # N is the *alive* worker count — it equals spec.n_workers for
+        # static runs, and the checkpoint-restored / elastic-initial count
+        # otherwise; membership changes re-derive it via _on_membership.
+        self._route_loss = 1.0 - (1.0 - ctx.spec.link.loss_rate) ** 2
+        self._compute_time = engine.base_compute_time(ctx.spec)
         u_max = ics_upper_bound(
             bandwidth=ctx.spec.link.bandwidth,
-            loss_rate=route_loss,
-            compute_time=engine.base_compute_time(ctx.spec),
-            n_workers=ctx.spec.n_workers,
+            loss_rate=self._route_loss,
+            compute_time=self._compute_time,
+            n_workers=max(1, len(ctx.alive_workers)),
             model_bytes=engine.model_bytes,
             max_model_fraction=self.max_model_fraction,
         )
         self._tuner = SGuTuner(u_max)
+        ctx.trace.gauge("osp.u_max", u_max)
+        ctx.membership_hooks.append(lambda n_alive: self._on_membership(ctx, n_alive))
         if self.fixed_budget_fraction is not None:
             # Ablation: constant budget from the start, Eq. 5-clipped.
             self._budget = min(
@@ -173,6 +185,9 @@ class OSP(SyncModel):
         self._ics_push_done = [None] * n
         self._ics_proc = [None] * n
         self._ics_ready: dict[int, object] = {}
+        #: worker -> wire bytes of an ICS push not yet fully arrived at the
+        #: PS (checkpoint discard-policy accounting).
+        self._ics_unarrived: dict[int, float] = {}
         corrector_cls = {
             "local": LGPCorrector,
             "ema": EMALGPCorrector,
@@ -184,6 +199,31 @@ class OSP(SyncModel):
             else None
             for w in range(n)
         ]
+
+    def _on_membership(self, ctx, n_alive: int) -> None:
+        """Eq. 5 re-derivation when the worker set changes (elastic
+        join/leave or crash/restart): N concurrent ICS pushes share the PS
+        link, so U_max — and therefore the budget ceiling — moves with N.
+        The GIB itself rebuilds at the next PGP pass."""
+        if n_alive < 1:
+            return
+        u_max = ics_upper_bound(
+            bandwidth=ctx.spec.link.bandwidth,
+            loss_rate=self._route_loss,
+            compute_time=self._compute_time,
+            n_workers=n_alive,
+            model_bytes=ctx.engine.model_bytes,
+            max_model_fraction=self.max_model_fraction,
+        )
+        self._tuner.set_u_max(u_max)
+        ctx.trace.gauge("osp.u_max", u_max)
+        if self.fixed_budget_fraction is not None:
+            self._budget = min(self.fixed_budget_fraction * ctx.engine.model_bytes, u_max)
+        else:
+            # A shrunk ceiling clips the current budget immediately; a grown
+            # one takes effect at the next Algorithm 1 step.
+            self._budget = min(self._budget, u_max)
+        ctx.trace.gauge("osp.sgu_budget", self._budget)
 
     # ----------------------------------------------------------- tuning
     def on_epoch_end(self, ctx, epoch, train_loss, metric) -> None:
@@ -362,11 +402,13 @@ class OSP(SyncModel):
             "ics_push", actor, track="ics",
             worker=worker, iteration=iteration, bytes=unimp_bytes,
         )
+        self._ics_unarrived[worker] = unimp_bytes
         push = ctx.transfer_to_ps(
             worker, unimp_bytes, tag=("ics-push", worker, iteration)
         )
         self._ics_push_done[worker] = push
         yield push
+        self._ics_unarrived.pop(worker, None)
         trace.end(span)
         trace.gauge_delta("osp.inflight_ics_bytes", -unimp_bytes)
 
@@ -463,6 +505,74 @@ class OSP(SyncModel):
         proc = self._ics_proc[worker]
         if proc is not None and not proc.triggered:
             yield proc
+
+    # --------------------------------------------------------- checkpointing
+    def checkpoint_state(self, ctx) -> dict:
+        """OSP-specific state for a checkpoint: the SGuTuner (U_max and the
+        Algorithm 1 normaliser L), the budget, the current and staged GIBs,
+        and the §4.3 fallback counters.  Captured at a drained epoch
+        boundary, so no per-round ICS bookkeeping needs to travel."""
+        pending = self._pending_gib
+        return {
+            "kind": "osp",
+            "force": self.force,
+            "lgp": self.lgp_mode,
+            "u_max": float(self._tuner.u_max),
+            "initial_loss": self._tuner.initial_loss,
+            "budget": float(self._budget),
+            "gib_layers": list(self._gib.layers),
+            "gib_bits": self._gib.pack().hex(),
+            "pending_gib_bits": pending.pack().hex() if pending is not None else None,
+            "consecutive_blown": int(self._consecutive_blown),
+            "fallback_remaining": int(self._fallback_remaining),
+        }
+
+    def checkpoint_arrays(self, ctx) -> dict:
+        out = {}
+        for worker, corrector in enumerate(self._correctors):
+            ema = getattr(corrector, "_ema", None)
+            if ema:
+                for name, arr in ema.items():
+                    out[f"lgp_ema/{worker}/{name}"] = arr
+        return out
+
+    def restore_state(self, ctx, state, arrays) -> None:
+        from repro.ckpt.snapshot import CheckpointError
+
+        if state.get("kind") != "osp":
+            raise CheckpointError("checkpoint was not written by an OSP run")
+        if state.get("force") != self.force or state.get("lgp") != self.lgp_mode:
+            raise CheckpointError(
+                "OSP configuration (force/lgp mode) differs from the checkpointed run"
+            )
+        layers = tuple(state["gib_layers"])
+        if layers != tuple(self.splitter.layers):
+            raise CheckpointError("layer list differs from the checkpointed run")
+        self._tuner.load_state({"u_max": state["u_max"], "initial_loss": state["initial_loss"]})
+        self._budget = float(state["budget"])
+        self._gib = GIB.unpack(bytes.fromhex(state["gib_bits"]), layers)
+        pending = state.get("pending_gib_bits")
+        self._pending_gib = GIB.unpack(bytes.fromhex(pending), layers) if pending else None
+        self._consecutive_blown = int(state["consecutive_blown"])
+        self._fallback_remaining = int(state["fallback_remaining"])
+        for key, arr in arrays.items():
+            if not key.startswith("lgp_ema/"):
+                continue
+            _prefix, worker, name = key.split("/", 2)
+            corrector = self._correctors[int(worker)]
+            if corrector is not None:
+                corrector._ema[name] = np.array(arr, copy=True)
+        ctx.trace.gauge("osp.u_max", self._tuner.u_max)
+        ctx.trace.gauge("osp.sgu_budget", self._budget)
+
+    def inflight_events(self, ctx) -> list:
+        """Open ICS processes: draining them runs the push → apply → pull →
+        Eq. 7 chain to completion before the snapshot is taken."""
+        return [p for p in self._ics_proc if p is not None and not p.triggered]
+
+    def inflight_bytes(self, ctx) -> float:
+        """Wire bytes of ICS pushes still on the network (discard policy)."""
+        return float(sum(self._ics_unarrived.values()))
 
 
 __all__ = ["OSP"]

@@ -112,5 +112,25 @@ class SGuTuner:
         """Forget L (start of a fresh training run)."""
         self._initial_loss = None
 
+    def set_u_max(self, u_max: float) -> None:
+        """Re-derive the budget ceiling for a new worker count (Eq. 5).
+
+        Elastic membership changes alter ``N``; the normaliser ``L`` is a
+        property of the training run, not of the cluster, so it survives.
+        """
+        if not math.isfinite(u_max) or u_max < 0:
+            raise ValueError(f"u_max must be >= 0, got {u_max}")
+        self.u_max = float(u_max)
+
+    def state(self) -> dict:
+        """Serialisable tuner state (for checkpointing)."""
+        return {"u_max": self.u_max, "initial_loss": self._initial_loss}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state`."""
+        self.set_u_max(float(state["u_max"]))
+        initial = state.get("initial_loss")
+        self._initial_loss = None if initial is None else float(initial)
+
 
 __all__ = ["MAX_MODEL_FRACTION", "SGuTuner", "ics_upper_bound"]

@@ -52,7 +52,10 @@ class FaultInjector:
         self._started = True
         for crash in self.schedule.crash_events:
             self.ctx.schedule_failure(
-                crash.worker, crash.before_epoch, restart_epoch=crash.restart_epoch
+                crash.worker,
+                crash.before_epoch,
+                restart_epoch=crash.restart_epoch,
+                recover=crash.recover,
             )
         for ev in self.schedule.network_events:
             self.ctx.env.process(self._network_window(ev))
@@ -98,37 +101,51 @@ class FaultInjector:
     def _network_window(self, ev):
         links = self._links_for(ev.nodes)  # validate before time passes
         args = self._fault_args(ev)
-        if ev.start > 0:
-            yield self.ctx.env.timeout(ev.start)
-        self.ctx.recorder.incr(f"faults.{ev.kind}")
+        # Event times are absolute virtual seconds; on a checkpoint resume the
+        # clock starts past zero, so windows already over are skipped and the
+        # counter/instant only fires for windows this run actually starts
+        # (the restored recorder holds the counts for windows fired earlier).
+        now = self.ctx.env.now
+        if ev.start + ev.duration <= now:
+            return
+        fresh = ev.start >= now
+        if ev.start > now:
+            yield self.ctx.env.timeout(ev.start - now)
         trace = self.ctx.trace
-        trace.instant(
-            f"faults.{ev.kind}", actor="faults", track="faults",
-            nodes=list(ev.nodes) if ev.nodes is not None else "all", **args,
-        )
+        if fresh:
+            self.ctx.recorder.incr(f"faults.{ev.kind}")
+            trace.instant(
+                f"faults.{ev.kind}", actor="faults", track="faults",
+                nodes=list(ev.nodes) if ev.nodes is not None else "all", **args,
+            )
         span = trace.begin(
             f"faults.{ev.kind}", "faults", track="faults", cat="fault", **args
         )
         for link in links:
             link.apply_fault(**args)
         self.ctx.network.refresh_capacities()
-        yield self.ctx.env.timeout(ev.duration)
+        yield self.ctx.env.timeout(ev.start + ev.duration - self.ctx.env.now)
         for link in links:
             link.clear_fault(**args)
         self.ctx.network.refresh_capacities()
         trace.end(span)
 
     def _straggler_window(self, ev: StragglerSlowdown):
-        if ev.start > 0:
-            yield self.ctx.env.timeout(ev.start)
+        now = self.ctx.env.now
+        if ev.start + ev.duration <= now:
+            return  # fully in the past (checkpoint resume)
+        fresh = ev.start >= now
+        if ev.start > now:
+            yield self.ctx.env.timeout(ev.start - now)
         # The slowdown itself is applied via compute_factor(); this process
         # only stamps the counter at window start.
-        self.ctx.recorder.incr("faults.straggler")
         trace = self.ctx.trace
-        trace.instant(
-            "faults.straggler", actor="faults", track="faults",
-            worker=ev.worker, factor=ev.factor,
-        )
+        if fresh:
+            self.ctx.recorder.incr("faults.straggler")
+            trace.instant(
+                "faults.straggler", actor="faults", track="faults",
+                worker=ev.worker, factor=ev.factor,
+            )
         if trace:
             # Only traced runs pay for the window-end wakeup; untraced runs
             # keep their exact event schedule (the slowdown needs no timer).
@@ -136,7 +153,7 @@ class FaultInjector:
                 "faults.straggler", "faults", track="faults", cat="fault",
                 worker=ev.worker, factor=ev.factor,
             )
-            yield self.ctx.env.timeout(ev.duration)
+            yield self.ctx.env.timeout(ev.start + ev.duration - self.ctx.env.now)
             trace.end(span)
 
 

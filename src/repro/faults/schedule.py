@@ -123,14 +123,18 @@ class WorkerCrash:
     """``worker`` dies before starting epoch ``before_epoch`` (0-based).
 
     With ``restart_epoch`` set the worker rejoins once the cluster has
-    finished epoch ``restart_epoch − 1``, re-syncing its replica from the
-    PS — a crash/restart cycle rather than a permanent loss.
+    finished epoch ``restart_epoch − 1`` — a crash/restart cycle rather
+    than a permanent loss.  ``recover`` picks how the rejoining worker gets
+    its state back: ``"cold"`` re-syncs the replica from the live PS;
+    ``"checkpoint"`` restores it from the run's latest checkpoint (requires
+    checkpointing to be enabled on the trainer).
     """
 
     kind: ClassVar[str] = "worker_crash"
     worker: int
     before_epoch: int
     restart_epoch: Optional[int] = None
+    recover: str = "cold"
 
     def __post_init__(self) -> None:
         if self.worker < 0:
@@ -145,6 +149,12 @@ class WorkerCrash:
                 f"restart_epoch ({self.restart_epoch}) must be after "
                 f"before_epoch ({self.before_epoch})"
             )
+        if self.recover not in ("cold", "checkpoint"):
+            raise ValueError(
+                f"recover must be 'cold' or 'checkpoint', got {self.recover!r}"
+            )
+        if self.recover == "checkpoint" and self.restart_epoch is None:
+            raise ValueError("recover='checkpoint' requires restart_epoch")
 
 
 FaultEvent = Union[LossBurst, BandwidthDip, LinkFlap, StragglerSlowdown, WorkerCrash]

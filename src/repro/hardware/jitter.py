@@ -65,6 +65,24 @@ class LognormalJitter:
             self._cache[key] = factor
         return base_time * factor
 
+    def state_dict(self) -> dict:
+        """Serialisable per-worker RNG stream state (for checkpointing)."""
+        return {
+            "kind": "lognormal",
+            "streams": [g.bit_generator.state for g in self._streams],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore stream state captured by :meth:`state_dict`."""
+        streams = state.get("streams", [])
+        if len(streams) != len(self._streams):
+            raise ValueError(
+                f"jitter state has {len(streams)} streams; model has {len(self._streams)}"
+            )
+        for generator, saved in zip(self._streams, streams):
+            generator.bit_generator.state = saved
+        self._cache.clear()
+
 
 class PersistentStraggler:
     """Some workers are permanently slow (e.g. a thermally-throttled node).
@@ -90,6 +108,14 @@ class PersistentStraggler:
         if worker in self.slow_workers:
             t *= self.slow_factor
         return t
+
+    def state_dict(self) -> dict:
+        inner = getattr(self.inner, "state_dict", None)
+        return {"kind": "straggler-wrap", "inner": inner() if inner is not None else None}
+
+    def load_state(self, state: dict) -> None:
+        if state.get("inner") is not None:
+            self.inner.load_state(state["inner"])
 
 
 __all__ = ["JitterModel", "LognormalJitter", "NoJitter", "PersistentStraggler"]

@@ -23,6 +23,12 @@ class SeedStats:
 
     values: tuple[float, ...]
 
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(
+                "SeedStats needs at least one value; got an empty tuple"
+            )
+
     @property
     def mean(self) -> float:
         return float(np.mean(self.values))

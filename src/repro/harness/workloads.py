@@ -6,7 +6,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.cluster.engines import NumericEngine, TimingEngine
-from repro.cluster.spec import ClusterSpec, TrainingPlan
+from repro.cluster.spec import ClusterSpec, MembershipSchedule, TrainingPlan
 from repro.cluster.trainer import DistributedTrainer
 from repro.faults.schedule import FaultSchedule
 from repro.data.dataset import Dataset, train_test_split
@@ -42,6 +42,7 @@ class WorkloadConfig:
     colocated_ps: bool = False
     n_ps: int = 1
     faults: Optional[FaultSchedule] = None
+    membership: Optional[MembershipSchedule] = None
 
     @property
     def card(self) -> ModelCard:
@@ -59,11 +60,16 @@ def _spec(cfg: WorkloadConfig) -> ClusterSpec:
         colocated_ps=cfg.colocated_ps,
         n_ps=cfg.n_ps,
         faults=cfg.faults,
+        membership=cfg.membership,
     )
 
 
-def timing_trainer(cfg: WorkloadConfig, sync_model) -> DistributedTrainer:
-    """Paper-scale timing-mode trainer for one (workload, sync) pair."""
+def timing_trainer(cfg: WorkloadConfig, sync_model, **trainer_kwargs) -> DistributedTrainer:
+    """Paper-scale timing-mode trainer for one (workload, sync) pair.
+
+    Extra keyword arguments (``checkpoint_every``, ``resume_from``, ...)
+    are forwarded to :class:`DistributedTrainer`.
+    """
     spec = _spec(cfg)
     plan = TrainingPlan(
         n_epochs=cfg.n_epochs,
@@ -79,7 +85,7 @@ def timing_trainer(cfg: WorkloadConfig, sync_model) -> DistributedTrainer:
         seed=cfg.seed,
         tau=max(1.0, cfg.total_iterations / 6.0),
     )
-    return DistributedTrainer(spec, plan, engine, sync_model)
+    return DistributedTrainer(spec, plan, engine, sync_model, **trainer_kwargs)
 
 
 def make_numeric_dataset(card: ModelCard, n_samples: int = 1600, seed: int = 0) -> tuple[Dataset, Dataset]:
@@ -107,9 +113,11 @@ def numeric_trainer(
     batch_size: int = 25,
     lr: float = 0.1,
     early_stop_patience: Optional[int] = None,
+    **trainer_kwargs,
 ) -> DistributedTrainer:
     """Numeric-mode trainer: real gradients on the card's mini model,
-    paper-scale timing, the paper's LR schedule (§5.1.3)."""
+    paper-scale timing, the paper's LR schedule (§5.1.3). Extra keyword
+    arguments are forwarded to :class:`DistributedTrainer`."""
     card = cfg.card
     if data is None:
         data = make_numeric_dataset(card, seed=cfg.seed)
@@ -127,7 +135,7 @@ def numeric_trainer(
     engine = NumericEngine(
         card, train, test, spec, batch_size=batch_size, seed=cfg.seed
     )
-    return DistributedTrainer(spec, plan, engine, sync_model)
+    return DistributedTrainer(spec, plan, engine, sync_model, **trainer_kwargs)
 
 
 __all__ = [

@@ -57,6 +57,18 @@ class Recorder:
         """Current value of a named counter (0 if never incremented)."""
         return self.counters.get(name, 0)
 
+    def restore_from(self, other: "Recorder") -> None:
+        """Prepend ``other``'s history to this recorder (checkpoint resume).
+
+        The restored records come *before* anything already recorded, and
+        counters merge additively, so after a resume the recorder reads as
+        one continuous run.
+        """
+        self.iterations[:0] = other.iterations
+        self.epochs[:0] = other.epochs
+        for name, n in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + n
+
     # -- summaries ----------------------------------------------------------
     @property
     def total_samples(self) -> int:

@@ -381,6 +381,29 @@ def flat_layer_importance(
     return out
 
 
+def pack_plane(layout: ArenaLayout, mapping: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Serialise a name→array mapping into a fresh plane in layout order.
+
+    Names absent from ``mapping`` stay zero.  Used by checkpointing so
+    dict-mode (arena-off) state serialises to the same bytes as the flat
+    arena would hold.
+    """
+    plane = layout.new_plane()
+    for name, arr in mapping.items():
+        plane[layout.name_slices[name]] = np.asarray(arr).ravel()
+    return plane
+
+
+def unpack_plane(
+    layout: ArenaLayout,
+    plane: np.ndarray,
+    target: Mapping[str, np.ndarray],
+) -> None:
+    """Write plane slices back into existing shaped arrays, in place."""
+    for name, arr in target.items():
+        arr[...] = plane[layout.name_slices[name]].reshape(layout.shapes[name])
+
+
 __all__ = [
     "AggregateView",
     "ArenaLayout",
@@ -389,4 +412,6 @@ __all__ = [
     "arena_of",
     "flat_layer_importance",
     "merge_slices",
+    "pack_plane",
+    "unpack_plane",
 ]

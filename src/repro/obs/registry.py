@@ -5,6 +5,8 @@ tracer histogram must use a name declared here. Namespaces:
 
 * ``osp.*``    — OSP protocol events (degradations, deadline misses);
 * ``faults.*`` — injected fault activations;
+* ``ckpt.*``   — checkpoint/restore events (repro.ckpt);
+* ``elastic.*`` — elastic membership changes (worker join/leave);
 * ``obs.*``    — measurement-layer streams (network backlog, PS state,
   sync-time distributions).
 
@@ -36,6 +38,14 @@ COUNTERS: frozenset[str] = frozenset(
         "osp.degraded_quorum",
         "osp.bsp_fallback",
         "osp.bsp_fallback_exit",
+        # checkpoint/restore (repro.ckpt)
+        "ckpt.save",
+        "ckpt.restore",
+        "ckpt.ics_discarded_bytes",
+        "ckpt.worker_recover",
+        # elastic membership changes (repro.cluster.context)
+        "elastic.worker_join",
+        "elastic.worker_leave",
     }
 )
 
@@ -43,6 +53,7 @@ COUNTERS: frozenset[str] = frozenset(
 GAUGES: frozenset[str] = frozenset(
     {
         "osp.sgu_budget",
+        "osp.u_max",
         "osp.inflight_ics_bytes",
         "osp.quorum_size",
         "obs.net.inflight_bytes",

@@ -45,8 +45,14 @@ class WarmupLR:
         nxt = epoch + 1
         if nxt < self.warmup_epochs:
             self.optimizer.lr = self.base_lr * (nxt + 1) / self.warmup_epochs
+        elif nxt == self.warmup_epochs:
+            # Warm-up just ended: the first post-warmup epoch runs at the
+            # full base LR. The wrapped schedule takes over at the *next*
+            # boundary with an explicit 0-indexed epoch (it must never see
+            # a negative epoch).
+            self.optimizer.lr = self.base_lr
         elif self.after is not None:
-            self.after.epoch_end(epoch - self.warmup_epochs)
+            self.after.epoch_end(nxt - self.warmup_epochs - 1)
         else:
             self.optimizer.lr = self.base_lr
         return self.optimizer.lr

@@ -162,5 +162,36 @@ class SGD:
             if p.grad is not None
         }
 
+    def velocity_plane(self, layout) -> np.ndarray:
+        """Momentum state packed into one plane (zeros where never stepped).
+
+        Checkpoint serialisation: bit-identical whether momentum lives in
+        the arena's velocity plane or in per-name dict arrays.
+        """
+        if self._arena is not None:
+            return self._vel_plane.copy() if self._vel_plane is not None else layout.new_plane()
+        plane = layout.new_plane()
+        for name, v in self._velocity.items():
+            plane[layout.name_slices[name]] = v.ravel()
+        return plane
+
+    def load_velocity_plane(self, layout, plane: np.ndarray) -> None:
+        """Restore momentum state captured by :meth:`velocity_plane`.
+
+        In dict mode every name gets an entry; restoring zeros for
+        never-stepped parameters is numerically identical to the lazy
+        zero-init the uninterrupted run would perform.
+        """
+        if self._arena is not None:
+            self._velocity_plane()[:] = plane
+            return
+        for name in layout.names:
+            values = plane[layout.name_slices[name]].reshape(layout.shapes[name])
+            v = self._velocity.get(name)
+            if v is None:
+                self._velocity[name] = values.copy()
+            else:
+                v[...] = values
+
 
 __all__ = ["SGD"]

@@ -24,6 +24,11 @@ class SyncModel:
     #: Human-readable name used in results and benchmark tables.
     name = "abstract"
 
+    #: Whether this model tolerates elastic membership changes (its barriers
+    #: track the alive-worker set). The trainer refuses a
+    #: ``ClusterSpec.membership`` schedule on models that don't.
+    supports_elastic = False
+
     def setup(self, ctx: TrainerContext) -> None:
         """One-time initialisation before worker processes start."""
         ctx.epoch_end_hooks.append(
@@ -63,10 +68,25 @@ class SyncModel:
     def worker_process(self, ctx: TrainerContext, worker: int):
         """The per-worker simcore process driving training."""
         ipe = ctx.iterations_per_epoch
-        resume_at = -1
+        resume_at = ctx.start_epoch - 1
         trace = ctx.trace  # NULL_TRACER when tracing is off (all no-ops)
         actor = f"worker {worker}"
-        for epoch in range(ctx.plan.n_epochs):
+        entry = ctx.entry_epoch(worker)
+        if entry is None:
+            return  # permanently out (left or crashed before a resume point)
+        if entry > ctx.start_epoch:
+            # Elastic joiner, or a crash/restart cycle spanning a checkpoint
+            # resume: sit out until the cluster finishes epoch entry−1.
+            if entry >= ctx.plan.n_epochs:
+                return
+            yield ctx.epoch_completion(entry - 1)
+            if not ctx.admit_worker(worker):
+                return  # the run ended (early stop) while we were out
+            gate = ctx.checkpoint_gate(entry - 1)
+            if gate is not None:
+                yield gate  # don't race an in-progress snapshot drain
+            resume_at = entry
+        for epoch in range(ctx.start_epoch, ctx.plan.n_epochs):
             if ctx.should_fail(worker, epoch):
                 restart = ctx.retire_worker(worker)
                 if restart is None or restart >= ctx.plan.n_epochs:
@@ -76,11 +96,20 @@ class SyncModel:
                 yield ctx.epoch_completion(restart - 1)
                 if not ctx.revive_worker(worker):
                     return  # the run ended (early stop) while we were down
+                gate = ctx.checkpoint_gate(restart - 1)
+                if gate is not None:
+                    yield gate
                 resume_at = restart
             if epoch < resume_at:
                 continue
             if ctx.skip_epoch(epoch):
                 break
+            if ctx.should_leave(worker, epoch):
+                # Graceful elastic departure: announce, then drain any
+                # in-flight background work before the process exits.
+                ctx.depart_worker(worker)
+                yield from self.finalize(ctx, worker)
+                return
             for batch in range(ipe):
                 iteration = epoch * ipe + batch
                 yield from self.before_compute(ctx, worker, iteration)
@@ -115,6 +144,7 @@ class SyncModel:
                     samples,
                 )
             ctx.epoch_done(worker, epoch)
+            yield from ctx.checkpoint_pause(worker, epoch)
         yield from self.finalize(ctx, worker)
 
     def finalize(self, ctx: TrainerContext, worker: int):
@@ -122,6 +152,27 @@ class SyncModel:
         background work, e.g. OSP's final ICS)."""
         return
         yield  # pragma: no cover
+
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint_state(self, ctx: TrainerContext) -> dict:
+        """JSON-able sync-model state for a checkpoint (default: none)."""
+        return {}
+
+    def checkpoint_arrays(self, ctx: TrainerContext) -> dict:
+        """Named numeric arrays for a checkpoint (default: none)."""
+        return {}
+
+    def restore_state(self, ctx: TrainerContext, state: dict, arrays: dict) -> None:
+        """Restore state captured by :meth:`checkpoint_state` /
+        :meth:`checkpoint_arrays`; called after :meth:`setup` on resume."""
+
+    def inflight_events(self, ctx: TrainerContext) -> list:
+        """Events for background work still in flight (checkpoint drain)."""
+        return []
+
+    def inflight_bytes(self, ctx: TrainerContext) -> float:
+        """Wire bytes currently in flight (checkpoint discard accounting)."""
+        return 0.0
 
 
 __all__ = ["SyncModel"]

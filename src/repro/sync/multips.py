@@ -31,9 +31,13 @@ class ShardedBSP(SyncModel):
 
     name = "sharded-bsp"
 
+    #: The barrier is a quorum barrier and the apply threshold tracks the
+    #: alive set, so elastic join/leave at epoch boundaries is safe.
+    supports_elastic = True
+
     def setup(self, ctx: TrainerContext) -> None:
         super().setup(ctx)
-        self._barrier = ctx.barrier()
+        self._barrier = ctx.quorum_barrier()
         self.plan: SyncGroupPlan = plan_sync_groups(
             ctx.engine.layer_bytes, ctx.spec.n_ps
         )
@@ -59,7 +63,7 @@ class ShardedBSP(SyncModel):
             for ps in range(n_ps)
         ]
         yield ctx.env.all_of(pushes)
-        if ctx.ps.accumulate(f"sbsp:{iteration}", worker, grads) == ctx.spec.n_workers:
+        if ctx.ps.accumulate(f"sbsp:{iteration}", worker, grads) >= len(ctx.alive_workers):
             ctx.ps.apply_average(f"sbsp:{iteration}")
         yield self._barrier.wait()
         pulls = [

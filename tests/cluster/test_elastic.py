@@ -1,0 +1,123 @@
+"""Elastic membership: worker join/leave at epoch boundaries, with the OSP
+ICS budget (Eq. 5 U_max) re-derived for the new cluster size."""
+
+import pytest
+
+from repro.cluster.spec import (
+    ClusterSpec,
+    MembershipSchedule,
+    WorkerJoin,
+    WorkerLeave,
+)
+from repro.core import OSP
+from repro.core.tuning import ics_upper_bound
+from repro.faults.schedule import FaultSchedule, WorkerCrash
+from repro.harness.workloads import WorkloadConfig, timing_trainer
+from repro.sync import BSP, ShardedBSP
+
+
+def run_elastic(membership, sync=None, n_workers=4, n_epochs=6):
+    cfg = WorkloadConfig(
+        "resnet50-cifar10",
+        n_workers=n_workers,
+        n_epochs=n_epochs,
+        iterations_per_epoch=3,
+        membership=membership,
+    )
+    sync = sync or OSP()
+    trainer = timing_trainer(cfg, sync)
+    return trainer, sync, trainer.run()
+
+
+def test_join_and_leave_change_alive_set_and_counters():
+    m = MembershipSchedule(
+        (WorkerJoin(worker=3, epoch=2), WorkerLeave(worker=0, epoch=4))
+    )
+    trainer, _sync, res = run_elastic(m)
+    assert sorted(res.context.alive_workers) == [1, 2, 3]
+    assert res.recorder.counter("elastic.worker_join") == 1
+    assert res.recorder.counter("elastic.worker_leave") == 1
+    # The joiner trained epochs 2..5, the leaver epochs 0..3; everyone else
+    # trained all 6; 3 iterations per epoch each.
+    by_worker = {}
+    for rec in res.recorder.iterations:
+        by_worker[rec.worker] = by_worker.get(rec.worker, 0) + 1
+    assert by_worker == {0: 12, 1: 18, 2: 18, 3: 12}
+
+
+def test_u_max_recomputed_for_new_cluster_size():
+    m = MembershipSchedule((WorkerLeave(worker=0, epoch=3),))
+    trainer, sync, res = run_elastic(m)
+    assert sorted(res.context.alive_workers) == [1, 2, 3]
+    spec, engine = trainer.spec, trainer.engine
+    route_loss = 1.0 - (1.0 - spec.link.loss_rate) ** 2
+    expected = ics_upper_bound(
+        bandwidth=spec.link.bandwidth,
+        loss_rate=route_loss,
+        compute_time=engine.base_compute_time(spec),
+        n_workers=3,  # Eq. 5: N is the post-leave alive count
+        model_bytes=engine.model_bytes,
+        max_model_fraction=sync.max_model_fraction,
+    )
+    assert sync._tuner.u_max == pytest.approx(expected)
+
+
+def test_membership_changes_visible_in_trace():
+    m = MembershipSchedule((WorkerJoin(worker=3, epoch=2),))
+    cfg = WorkloadConfig(
+        "resnet50-cifar10",
+        n_workers=4,
+        n_epochs=4,
+        iterations_per_epoch=3,
+        membership=m,
+    )
+    trainer = timing_trainer(cfg, OSP())
+    tracer = trainer.enable_tracing()
+    trainer.run()
+    names = [inst.name for inst in tracer.instants]
+    assert "elastic.worker_join" in names
+    # the U_max gauge is re-emitted when the membership hook fires
+    assert len(tracer.counters["osp.u_max"]) >= 2
+
+
+def test_sharded_bsp_supports_elastic_leave():
+    m = MembershipSchedule((WorkerLeave(worker=0, epoch=2),))
+    _trainer, _sync, res = run_elastic(m, sync=ShardedBSP(), n_epochs=4)
+    assert sorted(res.context.alive_workers) == [1, 2, 3]
+    assert res.recorder.counter("elastic.worker_leave") == 1
+
+
+def test_non_elastic_model_refuses_membership():
+    m = MembershipSchedule((WorkerLeave(worker=0, epoch=2),))
+    cfg = WorkloadConfig(
+        "resnet50-cifar10", n_workers=4, n_epochs=4,
+        iterations_per_epoch=3, membership=m,
+    )
+    with pytest.raises(ValueError, match="elastic"):
+        timing_trainer(cfg, BSP())
+
+
+def test_membership_schedule_validation():
+    with pytest.raises(ValueError, match="epoch boundaries"):
+        WorkerJoin(worker=0, epoch=0)
+    with pytest.raises(ValueError):
+        MembershipSchedule((WorkerJoin(worker=1, epoch=2), WorkerJoin(worker=1, epoch=3)))
+    with pytest.raises(ValueError, match="leaves"):
+        MembershipSchedule((WorkerJoin(worker=1, epoch=3), WorkerLeave(worker=1, epoch=2)))
+
+
+def test_spec_membership_validation():
+    m = MembershipSchedule((WorkerJoin(worker=9, epoch=2),))
+    with pytest.raises(ValueError):
+        ClusterSpec(n_workers=4, membership=m)
+    # a worker cannot both crash and have a membership event
+    m2 = MembershipSchedule((WorkerLeave(worker=1, epoch=3),))
+    faults = FaultSchedule((WorkerCrash(worker=1, before_epoch=2),))
+    with pytest.raises(ValueError):
+        ClusterSpec(n_workers=4, membership=m2, faults=faults)
+    # every worker initially absent is rejected
+    m3 = MembershipSchedule(
+        tuple(WorkerJoin(worker=w, epoch=1) for w in range(2))
+    )
+    with pytest.raises(ValueError, match="present at epoch 0"):
+        ClusterSpec(n_workers=2, membership=m3)

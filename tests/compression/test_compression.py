@@ -177,6 +177,30 @@ def test_residual_norm_zero_initially():
     assert ResidualMemory(TopK(0.5)).residual_norm == 0.0
 
 
+def test_residual_survives_disjoint_layer_sets():
+    # Regression: compressing layer set A then disjoint set B used to wipe
+    # A's residuals — error feedback silently dropped gradient mass when
+    # calls alternate between layer partitions (as RS/ICS scheduling does).
+    rng = np.random.default_rng(1)
+    c = ResidualMemory(TopK(0.3))
+    sets = (("a", "b"), ("c", "d"))
+    total_in = {k: np.zeros(16) for s in sets for k in s}
+    total_out = {k: np.zeros(16) for s in sets for k in s}
+    for step in range(40):
+        names = sets[step % 2]
+        g = {k: rng.normal(size=16) for k in names}
+        for k in names:
+            total_in[k] += g[k]
+        sent = c.decompress(c.compress(g)[0])
+        for k in names:
+            total_out[k] += sent[k]
+    # Every layer's residual is still tracked, and what was withheld is
+    # exactly the carried residual — nothing was lost across alternations.
+    assert set(c._residual) == {"a", "b", "c", "d"}
+    for k, r in c._residual.items():
+        assert np.allclose(total_in[k] - total_out[k], r, atol=1e-9)
+
+
 def test_residual_with_lossless_inner_keeps_no_residual():
     c = ResidualMemory(TopK(1.0))
     c.compress(grads())

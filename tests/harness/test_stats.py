@@ -16,6 +16,13 @@ def test_seedstats_aggregation():
     assert "±" in str(s)
 
 
+def test_seedstats_rejects_empty_values():
+    # Regression: an empty tuple used to construct fine and then blow up
+    # (or emit NaN warnings) on first property access; fail fast instead.
+    with pytest.raises(ValueError, match="at least one value"):
+        SeedStats(())
+
+
 def test_run_seeds_requires_seeds():
     with pytest.raises(ValueError):
         run_seeds(lambda s: None, [])

@@ -191,3 +191,68 @@ def test_report_from_recorder_json(tmp_path, capsys):
     assert main(["report", str(path)]) == 0
     out = capsys.readouterr().out
     assert "Batch synchronization time" in out
+
+
+def _run_with_checkpoints(ckpt_dir, extra=()):
+    return main(
+        [
+            "run",
+            "--workload", "resnet50-cifar10",
+            "--sync", "osp",
+            "--mode", "timing",
+            "--workers", "2",
+            "--epochs", "4",
+            "--iterations", "2",
+            "--checkpoint-every", "2",
+            "--checkpoint-dir", str(ckpt_dir),
+            *extra,
+        ]
+    )
+
+
+def test_run_checkpoint_then_inspect_round_trip(tmp_path, capsys):
+    ckpt_dir = tmp_path / "ckpts"
+    assert _run_with_checkpoints(ckpt_dir) == 0
+    files = sorted(p.name for p in ckpt_dir.iterdir())
+    assert files == ["ckpt-epoch0002.npz", "ckpt-epoch0004.npz"]
+    capsys.readouterr()
+
+    assert main(["ckpt", "inspect", str(ckpt_dir / "ckpt-epoch0002.npz"), "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["next_epoch"] == 2
+    assert info["sync"].startswith("osp")
+    assert info["counters"]["ckpt.save"] == 1
+
+    # and the checkpoint actually resumes a run
+    assert _run_with_checkpoints(
+        tmp_path / "resumed",
+        extra=["--resume", str(ckpt_dir / "ckpt-epoch0002.npz"), "--json"],
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counters"]["ckpt.restore"] == 1
+    assert payload["counters"]["ckpt.save"] == 2  # 1 restored + 1 new
+
+
+def test_ckpt_inspect_table_output(tmp_path, capsys):
+    ckpt_dir = tmp_path / "ckpts"
+    _run_with_checkpoints(ckpt_dir)
+    capsys.readouterr()
+    assert main(["ckpt", "inspect", str(ckpt_dir / "ckpt-epoch0002.npz")]) == 0
+    out = capsys.readouterr().out
+    assert "next_epoch" in out and "arrays" in out
+
+
+def test_ckpt_inspect_refuses_version_mismatch(tmp_path, capsys):
+    from repro.ckpt import load_checkpoint, write_checkpoint
+
+    ckpt_dir = tmp_path / "ckpts"
+    _run_with_checkpoints(ckpt_dir)
+    capsys.readouterr()
+    path = ckpt_dir / "ckpt-epoch0002.npz"
+    ckpt = load_checkpoint(path)
+    ckpt.meta["format_version"] = 99
+    write_checkpoint(ckpt, path)
+
+    assert main(["ckpt", "inspect", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "format version" in err
