@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full perf perf-full faults ckpt trace examples clean
+.PHONY: install test bench bench-full perf perf-full faults ckpt check trace examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -40,6 +40,15 @@ ckpt:
 	  --iterations 3 --checkpoint-every 2 --checkpoint-dir /tmp/repro-ckpt-smoke-resumed \
 	  --resume /tmp/repro-ckpt-smoke/ckpt-epoch0002.npz
 	PYTHONPATH=src pytest tests/ckpt/ -q
+
+# Invariant-checker smoke: an OSP run with an active fault window under
+# every runtime monitor, both differential replays (flat-arena vs dict
+# plane, resumed vs uninterrupted), then the repro.check tier-1 tests.
+check:
+	PYTHONPATH=src python -m repro check --sync osp --workers 4 --epochs 6 \
+	  --iterations 4 \
+	  --faults '[{"kind": "bandwidth_dip", "start": 0.5, "duration": 2.0, "factor": 0.5}]'
+	PYTHONPATH=src pytest tests/check -q
 
 # Observability smoke: run a traced OSP workload, validate the unified
 # trace's schema, and render the overlap report from the file.

@@ -1,0 +1,66 @@
+"""repro.check — runtime invariant monitors + differential replay.
+
+Two complementary correctness layers over the simulator:
+
+* :mod:`repro.check.monitors` — opt-in runtime invariant monitors wrapped
+  around a live trainer's event dispatch (netsim byte conservation, PS
+  deposit/apply ledger, GIB partition + Eq. 5 budget chain, SSP/DSSP
+  staleness bounds, flat-arena aliasing parity). Strict mode raises at the
+  offending event; collect mode reports.
+* :mod:`repro.check.replay` — a differential-replay harness that runs two
+  supposedly-equivalent configurations (flat arena on/off, resumed vs.
+  uninterrupted, any A/B pair) and bisects their normalized event streams
+  to the first divergent event, with span context from :mod:`repro.obs`.
+
+See ``docs/invariants.md`` and ``python -m repro check --help``.
+"""
+
+from repro.check.monitors import (
+    ArenaParityMonitor,
+    CheckReport,
+    DEFAULT_MONITORS,
+    GIBInvariantMonitor,
+    InvariantChecker,
+    InvariantViolation,
+    MONITOR_REGISTRY,
+    Monitor,
+    NetworkConservationMonitor,
+    PSLedgerMonitor,
+    StalenessBoundMonitor,
+    run_checked,
+)
+from repro.check.replay import (
+    Divergence,
+    ReplayEvent,
+    ReplayReport,
+    capture_stream,
+    differential_replay,
+    first_divergence,
+    replay_flat_arena,
+    replay_resume,
+    span_context,
+)
+
+__all__ = [
+    "ArenaParityMonitor",
+    "CheckReport",
+    "DEFAULT_MONITORS",
+    "Divergence",
+    "GIBInvariantMonitor",
+    "InvariantChecker",
+    "InvariantViolation",
+    "MONITOR_REGISTRY",
+    "Monitor",
+    "NetworkConservationMonitor",
+    "PSLedgerMonitor",
+    "ReplayEvent",
+    "ReplayReport",
+    "StalenessBoundMonitor",
+    "capture_stream",
+    "differential_replay",
+    "first_divergence",
+    "replay_flat_arena",
+    "replay_resume",
+    "run_checked",
+    "span_context",
+]

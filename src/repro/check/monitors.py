@@ -1,0 +1,574 @@
+"""Runtime invariant monitors (``repro.check``).
+
+Four subsystems (faults, obs, flat-arena perf, elastic ckpt) mutate shared
+PS/worker/network state concurrently, and every correctness claim in the
+paper — GIB partitions (§4.2), the S(G^u) ≤ U_max ≤ 0.8·model-bytes chain
+(Eq. 5), the §4.3 degradation theorems, SSP/DSSP staleness bounds — was
+enforced only implicitly. The monitors here turn those claims into cheap,
+opt-in runtime checks that fire *at the simulation event where the
+invariant breaks* instead of surfacing as downstream accuracy drift.
+
+Mechanics: a monitor instruments the live objects a trainer owns
+(``Network.transfer``/``_drain``, ``ParameterServer.accumulate``/
+``apply_average``, ``OSP._refresh_gib``/``_close_rs_round``,
+``SSP.before_compute``) by wrapping the *instance* attribute. The hooks
+run synchronously inside the kernel's event dispatch for that object, are
+strictly passive (no simulation events, timeouts or processes — the
+virtual timeline of a checked run is bit-identical to an unchecked one),
+and cost nothing when no checker is attached.
+
+Usage::
+
+    trainer = DistributedTrainer(spec, plan, engine, OSP())
+    result, report = run_checked(trainer)          # strict: raises on
+    assert report.ok                               # the first violation
+
+or via the CLI: ``python -m repro check --sync osp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.osp import OSP
+from repro.netsim.network import _BYTE_EPS
+from repro.nn.arena import pack_plane
+from repro.sync.ssp import SSP
+
+
+class InvariantViolation(AssertionError):
+    """A monitor's invariant failed, with event-time context attached."""
+
+    def __init__(self, monitor: str, message: str, *, time=None, context=None):
+        self.monitor = monitor
+        self.time = time
+        self.context = dict(context or {})
+        stamp = "" if time is None else f" at t={time:.6f}"
+        super().__init__(f"[{monitor}]{stamp} {message}")
+
+
+def _wrap(obj, method_name: str, around: Callable) -> None:
+    """Replace ``obj.method_name`` with ``around(orig, *args, **kwargs)``.
+
+    Wraps the *instance* attribute, so internal ``self.method(...)`` calls
+    go through the wrapper too, and other instances stay untouched.
+    """
+    orig = getattr(obj, method_name)
+
+    def wrapper(*args, **kwargs):
+        return around(orig, *args, **kwargs)
+
+    wrapper.__wrapped__ = orig
+    setattr(obj, method_name, wrapper)
+
+
+class Monitor:
+    """Base class: one named invariant, a check counter, and violations."""
+
+    #: registry key; also the prefix shown in violation messages.
+    name = "abstract"
+    #: one-line cost note (documented in docs/invariants.md).
+    cost = ""
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.violations: list[InvariantViolation] = []
+        self._checker: Optional["InvariantChecker"] = None
+
+    def attach(self, checker: "InvariantChecker", trainer) -> bool:
+        """Instrument ``trainer``; return False when not applicable."""
+        raise NotImplementedError
+
+    def finish(self, trainer) -> None:
+        """End-of-run checks (after ``trainer.run()`` returned)."""
+
+    def fail(self, message: str, **context) -> None:
+        violation = InvariantViolation(
+            self.name, message, time=self._checker.now, context=context
+        )
+        self.violations.append(violation)
+        self._checker.on_violation(violation)
+
+
+class NetworkConservationMonitor(Monitor):
+    """Netsim byte conservation: flow bytes in == bytes carried on links.
+
+    Every tracked flow contributes ``(effective − remaining) · len(route)``
+    bytes (effective = size × (1 + loss at start), sampled exactly as the
+    scheduler samples it), and the sum must equal the links' cumulative
+    ``bytes_carried`` at *every* drain — bandwidth-dip/flap/loss-burst
+    windows included, since faults change rates, never conservation.
+    Tolerance covers the ``_BYTE_EPS`` completion residue per flow plus
+    float accumulation drift.
+    """
+
+    name = "net.conservation"
+    cost = "O(active flows) per network drain"
+
+    def attach(self, checker, trainer) -> bool:
+        net = trainer.network
+        if net._active:  # attached mid-run: history is unreconstructable
+            return False
+        self._net = net
+        self._flows: dict[int, tuple[float, int]] = {}  # fid -> (eff, links)
+        self._baseline = sum(l.bytes_carried for l in net.topology.links)
+        _wrap(net, "transfer", self._on_transfer)
+        _wrap(net, "_drain", self._on_drain)
+        return True
+
+    def _on_transfer(self, orig, src, dst, size, tag=None):
+        net = self._net
+        fid = net._next_fid
+        done = orig(src, dst, size, tag=tag)
+        effective = float(size) * (1.0 + net.topology.route_loss(src, dst))
+        route = net.topology.route(src, dst)
+        if route and effective > _BYTE_EPS:
+            self._flows[fid] = (effective, len(route))
+        return done
+
+    def _on_drain(self, orig):
+        orig()
+        self._verify()
+
+    def _verify(self) -> None:
+        net = self._net
+        carried = sum(l.bytes_carried for l in net.topology.links) - self._baseline
+        expected = 0.0
+        eps_budget = 0.0
+        for fid, (effective, n_links) in self._flows.items():
+            flow = net._active.get(fid)
+            if flow is None:  # finished: credited up to the sub-eps residue
+                expected += effective * n_links
+                eps_budget += _BYTE_EPS * n_links
+            else:
+                expected += (effective - flow.remaining) * n_links
+        tol = 1e-3 + eps_budget + 1e-9 * max(abs(carried), abs(expected))
+        self.checks += 1
+        if abs(carried - expected) > tol:
+            self.fail(
+                f"link bytes_carried {carried:.3f} != flow bytes drained "
+                f"{expected:.3f} (|diff| {abs(carried - expected):.3f} > "
+                f"tol {tol:.3f})",
+                carried=carried,
+                expected=expected,
+            )
+
+    def finish(self, trainer) -> None:
+        self._verify()
+
+
+class PSLedgerMonitor(Monitor):
+    """PS ``accumulate``/``apply_average`` pairing and no-lost-deposit.
+
+    A shadow ledger mirrors every bucket: duplicate deposits, applies on
+    buckets with no observed deposits, and ledger/PS count desyncs fail at
+    the call. At run end, any deposit that never reached an apply is a lost
+    gradient — enforced only on clean runs (no crashes, no degraded-quorum
+    timeouts, no elastic leaves), since those legitimately strand late
+    deposits; see docs/invariants.md.
+    """
+
+    name = "ps.ledger"
+    cost = "O(1) per deposit/apply"
+
+    def attach(self, checker, trainer) -> bool:
+        ps = trainer.ps
+        self._ps = ps
+        self._trainer = trainer
+        self._deposits: dict[str, set[int]] = {}
+        self._applies = 0
+        _wrap(ps, "accumulate", self._on_accumulate)
+        _wrap(ps, "apply_average", self._on_apply)
+        _wrap(ps, "apply_immediate", self._on_apply_immediate)
+        return True
+
+    def _on_accumulate(self, orig, bucket, worker, grads):
+        self.checks += 1
+        seen = self._deposits.setdefault(bucket, set())
+        if worker in seen:
+            self.fail(
+                f"worker {worker} deposited twice in bucket {bucket!r}",
+                bucket=bucket,
+                worker=worker,
+            )
+        count = orig(bucket, worker, grads)
+        seen.add(worker)
+        if count != len(seen):
+            self.fail(
+                f"bucket {bucket!r}: PS reports {count} deposits, ledger "
+                f"saw {len(seen)}",
+                bucket=bucket,
+            )
+        return count
+
+    def _on_apply(self, orig, bucket):
+        self.checks += 1
+        seen = self._deposits.get(bucket, set())
+        if not seen:
+            self.fail(
+                f"apply_average on bucket {bucket!r} with no observed "
+                "deposits",
+                bucket=bucket,
+            )
+        elif self._ps.pending(bucket) != len(seen):
+            self.fail(
+                f"bucket {bucket!r}: PS holds {self._ps.pending(bucket)} "
+                f"deposits, ledger saw {len(seen)}",
+                bucket=bucket,
+            )
+        result = orig(bucket)
+        self._deposits.pop(bucket, None)
+        self._applies += 1
+        return result
+
+    def _on_apply_immediate(self, orig, worker, grads):
+        self.checks += 1
+        self._applies += 1
+        return orig(worker, grads)
+
+    def finish(self, trainer) -> None:
+        stranded = {b: sorted(s) for b, s in self._deposits.items() if s}
+        if not stranded:
+            return
+        rec = trainer.recorder
+        excusable = (
+            rec.counter("faults.worker_crash")
+            or rec.counter("osp.quorum_timeout")
+            or rec.counter("elastic.worker_leave")
+        )
+        if excusable:
+            return  # late arrivals after a degraded/shrunk round: by design
+        self.checks += 1
+        self.fail(
+            f"lost deposits at run end: {stranded} (no crash/timeout/leave "
+            "to excuse them)",
+            stranded=stranded,
+        )
+
+
+class GIBInvariantMonitor(Monitor):
+    """GIB partition + Eq. 5 budget-chain invariants for OSP.
+
+    At every GIB *build* (``_refresh_gib``): RS ∪ ICS covers exactly the
+    model's layers, the two sets are disjoint, and the deferred bytes obey
+    S(G^u) ≤ budget ≤ U_max ≤ ``max_model_fraction`` · model bytes. At
+    every round close (``_close_rs_round``), the adopted bitmap is
+    re-validated — the budget is *not* rechecked there, because a
+    membership change may legally clip it after a GIB was staged (the
+    bitmap rebuilds at the next PGP pass). Forced modes additionally pin
+    the §4.3 degenerate partitions (all-RS / all-ICS).
+    """
+
+    name = "osp.gib"
+    cost = "O(layers) per PGP refresh / RS round close"
+
+    def attach(self, checker, trainer) -> bool:
+        sync = trainer.sync_model
+        if not isinstance(sync, OSP):
+            return False
+        self._sync = sync
+        self._engine = trainer.engine
+        self._layers = frozenset(trainer.engine.splitter.layers)
+        _wrap(sync, "_refresh_gib", self._on_refresh)
+        _wrap(sync, "_close_rs_round", self._on_close)
+        return True
+
+    def _check_partition(self, gib, where: str) -> None:
+        important = set(gib.important_layers)
+        unimportant = set(gib.unimportant_layers)
+        overlap = important & unimportant
+        if overlap:
+            self.fail(
+                f"{where}: RS ∩ ICS not empty: {sorted(overlap)}",
+                overlap=sorted(overlap),
+            )
+        union = important | unimportant
+        if union != self._layers:
+            missing = sorted(self._layers - union)
+            foreign = sorted(union - self._layers)
+            self.fail(
+                f"{where}: RS ∪ ICS != model layers "
+                f"(missing {missing}, foreign {foreign})",
+                missing=missing,
+                foreign=foreign,
+            )
+
+    def _on_refresh(self, orig, ctx):
+        orig(ctx)
+        gib = self._sync._pending_gib
+        if gib is None:  # forced mode / BSP fallback: nothing staged
+            return
+        self.checks += 1
+        self._check_partition(gib, "staged GIB")
+        deferred = self._engine.bytes_of_layers(gib.unimportant_layers)
+        budget = self._sync.current_budget
+        u_max = self._sync.u_max
+        cap = self._sync.max_model_fraction * self._engine.model_bytes
+        eps = 1e-6 + 1e-9 * self._engine.model_bytes
+        if deferred > budget + eps:
+            self.fail(
+                f"S(G^u) {deferred:.0f} B exceeds budget {budget:.0f} B",
+                deferred=deferred,
+                budget=budget,
+            )
+        if budget > u_max + eps:
+            self.fail(
+                f"budget {budget:.0f} B exceeds Eq. 5 U_max {u_max:.0f} B",
+                budget=budget,
+                u_max=u_max,
+            )
+        if u_max > cap + eps:
+            self.fail(
+                f"U_max {u_max:.0f} B exceeds "
+                f"{self._sync.max_model_fraction:.0%} of model bytes "
+                f"({cap:.0f} B)",
+                u_max=u_max,
+                cap=cap,
+            )
+
+    def _on_close(self, orig, ctx, iteration, bucket):
+        orig(ctx, iteration, bucket)
+        self.checks += 1
+        gib = self._sync._gib
+        self._check_partition(gib, f"adopted GIB (iteration {iteration})")
+        n_layers = len(self._layers)
+        if self._sync.force == "bsp" and gib.n_important != n_layers:
+            self.fail(
+                f"force='bsp' but GIB defers "
+                f"{n_layers - gib.n_important} layers (§4.3 all-RS ≡ BSP)",
+                iteration=iteration,
+            )
+        if self._sync.force == "asp" and gib.n_important != 0:
+            self.fail(
+                f"force='asp' but GIB keeps {gib.n_important} layers in RS "
+                "(§4.3 all-ICS ≡ ASP)",
+                iteration=iteration,
+            )
+
+
+class StalenessBoundMonitor(Monitor):
+    """SSP/DSSP: ``iteration − min(progress) ≤ staleness`` at compute start.
+
+    Asserted synchronously after ``before_compute``'s wait completes (no
+    yields in between, so no other worker can advance the clock before the
+    check) against the *current* bound — DSSP's adaptation included.
+    """
+
+    name = "sync.staleness"
+    cost = "O(workers) per compute start"
+
+    def attach(self, checker, trainer) -> bool:
+        sync = trainer.sync_model
+        if not isinstance(sync, SSP):  # DSSP subclasses SSP
+            return False
+        self._sync = sync
+        monitor = self
+        orig = sync.before_compute
+
+        def wrapped(ctx, worker, iteration):
+            yield from orig(ctx, worker, iteration)
+            monitor.checks += 1
+            lag = iteration - int(monitor._sync._progress.min())
+            bound = monitor._sync.staleness
+            if lag > bound:
+                monitor.fail(
+                    f"worker {worker} starts iteration {iteration} with lag "
+                    f"{lag} > staleness bound {bound}",
+                    worker=worker,
+                    iteration=iteration,
+                    lag=lag,
+                    bound=bound,
+                )
+
+        sync.before_compute = wrapped
+        return True
+
+
+class ArenaParityMonitor(Monitor):
+    """Flat-arena vs. legacy parameter-plane checksum parity.
+
+    With ``REPRO_FLAT_ARENA`` enabled every PS parameter's ``.data`` must
+    stay a live view into the contiguous plane (``np.shares_memory``) and
+    packing the per-name dict must reproduce the plane bit-for-bit — a
+    parameter silently detached by an accidental rebind (``p.data = new``)
+    would make the dict and plane code paths diverge. Checked at every
+    epoch end and at run end. Cross-*mode* parity (arena on vs. off) is the
+    differential-replay harness's job (:func:`repro.check.replay_flat_arena`).
+    """
+
+    name = "ps.arena_parity"
+    cost = "O(model bytes) per epoch end"
+
+    def attach(self, checker, trainer) -> bool:
+        if trainer.ps.arena is None or not trainer.ps.numeric:
+            return False
+        self._ps = trainer.ps
+        trainer.ctx.epoch_end_hooks.append(self._on_epoch_end)
+        return True
+
+    def _on_epoch_end(self, epoch, train_loss, metric) -> None:
+        self._verify()
+
+    def _verify(self) -> None:
+        ps = self._ps
+        self.checks += 1
+        for name, param in ps._params.items():
+            if not np.shares_memory(param.data, ps.arena.flat):
+                self.fail(
+                    f"parameter {name!r} detached from the arena plane",
+                    param=name,
+                )
+                return
+        packed = pack_plane(
+            ps.arena.layout, {n: p.data for n, p in ps._params.items()}
+        )
+        if not np.array_equal(packed, ps.arena.flat):
+            bad = int(np.flatnonzero(packed != ps.arena.flat)[0])
+            self.fail(
+                "arena plane != packed parameter dict "
+                f"(first divergent element {bad})",
+                element=bad,
+            )
+
+    def finish(self, trainer) -> None:
+        self._verify()
+
+
+DEFAULT_MONITORS: tuple[type, ...] = (
+    NetworkConservationMonitor,
+    PSLedgerMonitor,
+    GIBInvariantMonitor,
+    StalenessBoundMonitor,
+    ArenaParityMonitor,
+)
+
+MONITOR_REGISTRY: dict[str, type] = {m.name: m for m in DEFAULT_MONITORS}
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Per-monitor check/violation counts after a checked run."""
+
+    monitors: dict[str, tuple[int, int]]  # name -> (checks, violations)
+    skipped: tuple[str, ...]  # monitors not applicable to this trainer
+    violations: tuple[InvariantViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_checks(self) -> int:
+        return sum(c for c, _v in self.monitors.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "total_checks": self.total_checks,
+            "monitors": {
+                name: {"checks": c, "violations": v}
+                for name, (c, v) in self.monitors.items()
+            },
+            "skipped": list(self.skipped),
+            "violations": [str(v) for v in self.violations],
+        }
+
+    def render(self) -> str:
+        lines = ["invariant monitors:"]
+        for name, (checks, violations) in sorted(self.monitors.items()):
+            verdict = "OK" if violations == 0 else f"{violations} VIOLATIONS"
+            lines.append(f"  {name:<18} {checks:>8} checks  {verdict}")
+        for name in self.skipped:
+            lines.append(f"  {name:<18} {'-':>8}        not applicable")
+        for violation in self.violations:
+            lines.append(f"  !! {violation}")
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Attach a set of monitors to a constructed (un-run) trainer.
+
+    ``strict=True`` (default) raises :class:`InvariantViolation` at the
+    offending event — the simulation stops with a stack into the exact
+    dispatch that broke the invariant. ``strict=False`` collects
+    violations and keeps running (the CLI's reporting mode).
+    """
+
+    def __init__(self, trainer, monitors: Optional[Sequence] = None, strict: bool = True):
+        self.trainer = trainer
+        self.strict = strict
+        self.violations: list[InvariantViolation] = []
+        self.monitors: list[Monitor] = []
+        self.skipped: list[str] = []
+        for factory in DEFAULT_MONITORS if monitors is None else monitors:
+            monitor = factory() if isinstance(factory, type) else factory
+            monitor._checker = self
+            if monitor.attach(self, trainer):
+                self.monitors.append(monitor)
+            else:
+                self.skipped.append(monitor.name)
+
+    @property
+    def now(self) -> float:
+        return self.trainer.env.now
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def on_violation(self, violation: InvariantViolation) -> None:
+        self.violations.append(violation)
+        self.trainer.recorder.incr("check.violation")
+        self.trainer.ctx.trace.instant(
+            "check.violation",
+            actor="check",
+            track="check",
+            monitor=violation.monitor,
+            message=str(violation),
+        )
+        if self.strict:
+            raise violation
+
+    def finish(self) -> CheckReport:
+        """Run end-of-run checks and produce the report."""
+        for monitor in self.monitors:
+            monitor.finish(self.trainer)
+        total = sum(m.checks for m in self.monitors)
+        if total:
+            self.trainer.recorder.incr("check.events_checked", total)
+        return self.report()
+
+    def report(self) -> CheckReport:
+        return CheckReport(
+            monitors={
+                m.name: (m.checks, len(m.violations)) for m in self.monitors
+            },
+            skipped=tuple(self.skipped),
+            violations=tuple(self.violations),
+        )
+
+
+def run_checked(trainer, monitors: Optional[Sequence] = None, strict: bool = True):
+    """Attach monitors, run the trainer, return (result, report)."""
+    checker = InvariantChecker(trainer, monitors=monitors, strict=strict)
+    result = trainer.run()
+    return result, checker.finish()
+
+
+__all__ = [
+    "ArenaParityMonitor",
+    "CheckReport",
+    "DEFAULT_MONITORS",
+    "GIBInvariantMonitor",
+    "InvariantChecker",
+    "InvariantViolation",
+    "MONITOR_REGISTRY",
+    "Monitor",
+    "NetworkConservationMonitor",
+    "PSLedgerMonitor",
+    "StalenessBoundMonitor",
+    "run_checked",
+]

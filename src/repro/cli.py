@@ -8,6 +8,7 @@ Commands
 ``figures``  list the figure-regeneration benchmarks
 ``cards``    list the model cards (paper-scale workload descriptions)
 ``ckpt``     checkpoint tools (``ckpt inspect FILE``)
+``check``    runtime invariant monitors + differential replay (repro.check)
 
 Examples
 --------
@@ -272,6 +273,64 @@ def cmd_ckpt(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    import tempfile
+
+    from repro.check import replay_flat_arena, replay_resume, run_checked
+
+    trainer = _build_trainer(args, args.sync)
+    trainer.enable_tracing()
+    _res, report = run_checked(trainer, strict=False)
+    payload = {"monitors": report.to_dict()}
+    ok = report.ok
+    if not args.json:
+        print(report.render())
+
+    if not args.no_replay:
+        # Replay runs in numeric mode at a reduced scale regardless of
+        # --mode: the parameter-plane digest only exists for numeric runs,
+        # and two full-scale extra runs would dominate the command's cost.
+        faults = parse_faults(args.faults) if getattr(args, "faults", None) else None
+        cfg = WorkloadConfig(
+            args.workload,
+            n_workers=min(args.workers, 4),
+            n_epochs=min(args.epochs, 3),
+            iterations_per_epoch=min(args.iterations, 4),
+            sigma=args.sigma,
+            seed=args.seed,
+            colocated_ps=args.sync == "osp-c",
+            faults=faults,
+        )
+        data = make_numeric_dataset(
+            cfg.card, n_samples=min(args.samples, 400), seed=args.seed
+        )
+
+        def make_trainer(**trainer_kwargs):
+            return numeric_trainer(
+                cfg,
+                SYNC_FACTORIES[args.sync](),
+                data=data,
+                batch_size=args.batch_size,
+                **trainer_kwargs,
+            )
+
+        replays = [replay_flat_arena(make_trainer)]
+        with tempfile.TemporaryDirectory(prefix="repro-check-") as tmpdir:
+            replays.append(replay_resume(make_trainer, tmpdir))
+        payload["replays"] = [r.to_dict() for r in replays]
+        for rep in replays:
+            ok = ok and rep.identical
+            if not args.json:
+                print(rep.render())
+
+    if args.json:
+        payload["ok"] = ok
+        print(json.dumps(payload))
+    elif not ok:
+        print("check: FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def cmd_figures(_args) -> int:
     print(
         "Figure-regeneration benchmarks (run with "
@@ -372,6 +431,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument("file", help="path to a ckpt-epoch*.npz file")
     p_inspect.add_argument("--json", action="store_true", help="emit JSON")
     p_inspect.set_defaults(fn=cmd_ckpt)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run under invariant monitors, then differential replay "
+        "(flat-arena vs dict plane, resumed vs uninterrupted)",
+    )
+    add_common(p_check)
+    p_check.add_argument("--sync", default="osp", choices=sorted(SYNC_FACTORIES))
+    p_check.add_argument("--json", action="store_true", help="emit JSON")
+    p_check.add_argument(
+        "--no-replay", action="store_true",
+        help="monitors only: skip the two differential-replay runs",
+    )
+    p_check.set_defaults(fn=cmd_check)
 
     p_perf = sub.add_parser(
         "perf",

@@ -12,6 +12,12 @@ class Uniform8Bit:
 
     Each tensor is scaled by its max-abs into [-127, 127] and rounded. Wire
     cost: 1 byte/entry + 4 bytes/tensor for the scale.
+
+    A tensor containing any non-finite entry (NaN/inf) makes the max-abs
+    scale non-finite, and ``np.round(g / scale).astype(np.int8)`` on such
+    values is undefined behaviour (C-cast of NaN). Those tensors take the
+    zero-tensor path instead — the poisoned gradient is dropped
+    deterministically (scale 0.0, all-zero int8) and round-trips to zeros.
     """
 
     levels = 127
@@ -21,8 +27,9 @@ class Uniform8Bit:
         wire = 0
         for name, g in grads.items():
             scale = float(np.abs(g).max())
-            if scale == 0.0:
+            if scale == 0.0 or not np.isfinite(scale):
                 q = np.zeros(g.shape, dtype=np.int8)
+                scale = 0.0
             else:
                 q = np.clip(
                     np.round(g / scale * self.levels), -self.levels, self.levels

@@ -4,12 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.compression.base import (
-    GradientDict,
-    _BYTES_PER_FLOAT,
-    _BYTES_PER_INDEX,
-)
-from repro.compression.topk import TopK
+from repro.compression.base import GradientDict
+from repro.compression.topk import TopK, sparse_wire_bytes
 
 
 class RandomK:
@@ -39,7 +35,7 @@ class RandomK:
             "indices": indices.astype(np.int64),
             "values": values,
         }
-        wire = indices.size * (_BYTES_PER_FLOAT + _BYTES_PER_INDEX)
+        wire = sparse_wire_bytes(indices.size, len(grads))
         return payload, wire
 
     # Same payload layout as TopK; reuse its decoder.

@@ -11,6 +11,17 @@ from repro.compression.base import (
 )
 
 
+def sparse_wire_bytes(n_kept: int, n_tensors: int) -> int:
+    """Wire cost of a sparse (index, value) payload.
+
+    Per kept entry one float + one index, plus per-tensor metadata (the
+    element count needed to rebuild shapes) at index width — mirroring
+    ``Uniform8Bit``'s 4-bytes-per-tensor scale convention so compression
+    ratios against ``dense_bytes`` stay comparable across compressors.
+    """
+    return n_kept * (_BYTES_PER_FLOAT + _BYTES_PER_INDEX) + n_tensors * _BYTES_PER_INDEX
+
+
 class TopK:
     """Keep the global top ``ratio`` fraction of entries by |value|.
 
@@ -46,13 +57,15 @@ class TopK:
             "indices": indices.astype(np.int64),
             "values": flat[indices],
         }
-        wire = indices.size * (_BYTES_PER_FLOAT + _BYTES_PER_INDEX)
+        wire = sparse_wire_bytes(indices.size, len(grads))
         return payload, wire
 
     def decompress(self, payload) -> GradientDict:
         shapes = payload["shapes"]
         total = sum(int(np.prod(s)) for s in shapes.values())
-        flat = np.zeros(total)
+        # Preserve the input dtype: a bare np.zeros(total) is float64 and
+        # silently upcast float32 gradients through the round-trip.
+        flat = np.zeros(total, dtype=payload["values"].dtype)
         flat[payload["indices"]] = payload["values"]
         out: GradientDict = {}
         offset = 0
@@ -64,4 +77,4 @@ class TopK:
         return out
 
 
-__all__ = ["TopK"]
+__all__ = ["TopK", "sparse_wire_bytes"]

@@ -100,10 +100,16 @@ class Link:
             self.keep_factor = 1.0
 
     def utilization(self, elapsed: float) -> float:
-        """Average utilisation over ``elapsed`` seconds of simulated time."""
+        """Average utilisation over ``elapsed`` seconds of simulated time.
+
+        Measured against the *nominal* (spec) capacity: ``bytes_carried``
+        is whole-run history, so dividing by the fault-adjusted effective
+        bandwidth would overstate utilisation whenever the report is taken
+        during an active bandwidth dip.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.bytes_carried / (self.bandwidth * elapsed))
+        return min(1.0, self.bytes_carried / (self.spec.bandwidth * elapsed))
 
     def __hash__(self) -> int:
         return hash(self.name)

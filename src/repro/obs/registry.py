@@ -7,6 +7,7 @@ tracer histogram must use a name declared here. Namespaces:
 * ``faults.*`` — injected fault activations;
 * ``ckpt.*``   — checkpoint/restore events (repro.ckpt);
 * ``elastic.*`` — elastic membership changes (worker join/leave);
+* ``check.*``  — runtime invariant checker (repro.check);
 * ``obs.*``    — measurement-layer streams (network backlog, PS state,
   sync-time distributions).
 
@@ -46,6 +47,9 @@ COUNTERS: frozenset[str] = frozenset(
         # elastic membership changes (repro.cluster.context)
         "elastic.worker_join",
         "elastic.worker_leave",
+        # runtime invariant checker (repro.check)
+        "check.violation",
+        "check.events_checked",
     }
 )
 

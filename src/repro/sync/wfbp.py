@@ -17,10 +17,10 @@ phase*, crediting back the overlap: the sync clock starts at the end of
 compute, but pushes that would have completed inside the backward window
 contribute no exposed time.
 
-Concretely: per layer (last to first) we start its push at
-``max(0, prior_exposed)`` after subtracting the backward headroom it had.
-The exposed BST is what remains after the ``2/3·T_c`` backward window is
-consumed — the same accounting WFBP papers use.
+Concretely: per layer (last to first) :func:`wfbp_overlap` runs a FIFO
+finish-time recurrence — a push starts at ``max(ready, link_free)`` and
+whatever it moves before the ``2/3·T_c`` backward window closes is hidden.
+The exposed BST is the remainder — the same accounting WFBP papers use.
 """
 
 from __future__ import annotations
@@ -32,6 +32,43 @@ if TYPE_CHECKING:
 
 from repro.hardware.compute import BACKWARD_FACTOR
 from repro.sync.base import SyncModel
+
+
+def wfbp_overlap(layer_bytes, t_bwd: float, fair_rate: float):
+    """FIFO hidden/exposed decomposition of WFBP's layer-wise pushes.
+
+    ``layer_bytes`` is ``(layer, nbytes)`` pairs in backward order
+    (output-side first). Layer *i* becomes ready after the backward work of
+    layers before it (approximated by byte share of ``t_bwd``); its push
+    starts at ``max(ready_i, link_free)`` — transfers are FIFO on the
+    worker's uplink, so a push cannot start while an earlier layer's bytes
+    are still leaving. Bytes moved before ``t_bwd`` are hidden inside the
+    backward pass; the rest are exposed.
+
+    Returns ``[(layer, hidden_bytes, exposed_bytes), ...]`` with
+    ``hidden + exposed == nbytes`` for every layer. An earlier buggy
+    accounting subtracted a cumulative ``hidden_so_far`` from each layer's
+    own ready-to-``t_bwd`` window, double-charging bytes that earlier
+    layers had already sent *before* the later layer's window opened (the
+    shared budget was debited once by time via ``link_free`` and again by
+    volume), so layers ready after an idle uplink gap lost hidden capacity
+    they really had.
+    """
+    total = sum(b for _l, b in layer_bytes)
+    out = []
+    ready = 0.0
+    link_free = 0.0  # when the uplink finishes the previous layer's push
+    for layer, nbytes in layer_bytes:
+        if fair_rate > 0 and nbytes > 0:
+            start = max(ready, link_free)
+            link_free = start + nbytes / fair_rate
+            hidden = min(float(nbytes), max(0.0, (t_bwd - start) * fair_rate))
+        else:
+            hidden = 0.0
+        out.append((layer, hidden, nbytes - hidden))
+        if total > 0:
+            ready += t_bwd * (nbytes / total)
+    return out
 
 
 class WFBP(SyncModel):
@@ -55,31 +92,24 @@ class WFBP(SyncModel):
         # 0..i-1. We approximate per-layer backward cost as proportional to
         # its byte share (documented approximation; conv FLOP shares are
         # not represented in the cards).
-        total_bytes = engine.model_bytes
-        headroom = self._t_bwd  # how much of the push happened "inside" bwd
-
         exposed_done = []  # completion events for the exposed remainder
-        ready_offset = 0.0
-        hidden_so_far = 0.0
         # All N workers backprop in near-lockstep, so the overlapped window
         # moves bytes at the incast fair share b/N. Layers become ready
-        # sequentially and transfers are FIFO per worker, so the hidden
-        # capacity is a single shared budget: bytes hidden by earlier
-        # (output-side) layers consume it for later ones.
+        # sequentially and transfers are FIFO per worker, so a layer's push
+        # starts only once the uplink has finished the previous one.
         fair_rate = ctx.spec.link.bandwidth / ctx.spec.n_workers
-        for layer in self._layers_bwd:
-            nbytes = engine.layer_bytes[layer]
-            window_capacity = max(0.0, self._t_bwd - ready_offset) * fair_rate
-            hidden = min(nbytes, max(0.0, window_capacity - hidden_so_far))
-            hidden_so_far += hidden
-            exposed_bytes = nbytes - hidden
+        schedule = wfbp_overlap(
+            [(layer, engine.layer_bytes[layer]) for layer in self._layers_bwd],
+            self._t_bwd,
+            fair_rate,
+        )
+        for layer, _hidden, exposed_bytes in schedule:
             if exposed_bytes > 0:
                 exposed_done.append(
                     ctx.transfer_to_ps(
                         worker, exposed_bytes, tag=("wfbp-push", worker, iteration, layer)
                     )
                 )
-            ready_offset += self._t_bwd * (nbytes / total_bytes)
 
         for ev in exposed_done:
             yield ev
@@ -92,4 +122,4 @@ class WFBP(SyncModel):
         ctx.engine.sync_replica(worker, ctx.ps)
 
 
-__all__ = ["WFBP"]
+__all__ = ["WFBP", "wfbp_overlap"]

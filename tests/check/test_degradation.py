@@ -1,0 +1,76 @@
+"""§4.3 degradation theorems, checked metamorphically end-to-end.
+
+OSP with ``force="bsp"`` pins every layer to RS — the protocol *is* BSP
+and must match it numerically. With ``force="asp"`` every layer defers to
+ICS — RS carries zero gradient traffic and barrier sync time collapses.
+(The forced-asp run is not numerically identical to ASP: OSP still
+round-averages ICS deposits where ASP applies immediately, so the claim
+checked is structural, not bit-equality.)
+"""
+
+import numpy as np
+
+from repro.check import run_checked
+from repro.core.osp import OSP
+from repro.harness.workloads import (
+    WorkloadConfig,
+    make_numeric_dataset,
+    numeric_trainer,
+    timing_trainer,
+)
+from repro.sync import BSP
+
+
+def _cfg(seed=3):
+    return WorkloadConfig(
+        card_name="resnet50-cifar10",
+        n_workers=4,
+        n_epochs=3,
+        iterations_per_epoch=4,
+        sigma=0.1,
+        seed=seed,
+    )
+
+
+def _numeric_run(sync):
+    cfg = _cfg()
+    data = make_numeric_dataset(cfg.card, n_samples=320, seed=cfg.seed)
+    trainer = numeric_trainer(cfg, sync, data=data)
+    result = trainer.run()
+    return trainer, result
+
+
+def test_forced_bsp_matches_bsp_parameters_exactly():
+    t_bsp, r_bsp = _numeric_run(BSP())
+    t_osp, r_osp = _numeric_run(OSP(force="bsp"))
+    a, b = t_bsp.ps.snapshot(), t_osp.ps.snapshot()
+    assert set(a) == set(b)
+    for name in a:
+        np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+    losses = lambda r: [float(ep.train_loss) for ep in r.recorder.epochs]
+    assert losses(r_bsp) == losses(r_osp)
+
+
+def test_forced_asp_sends_no_rs_gradient_traffic():
+    trainer = timing_trainer(_cfg(), OSP(force="asp"))
+    trainer.run()
+    rs = [r for r in trainer.network.records
+          if isinstance(r.tag, tuple) and r.tag[0] in ("rs-push", "rs-pull")]
+    ics = [r for r in trainer.network.records
+           if isinstance(r.tag, tuple) and r.tag[0] == "ics-push"]
+    assert sum(r.size for r in rs) == 0
+    assert sum(r.size for r in ics) > 0
+
+
+def test_forced_asp_bst_collapses_relative_to_bsp():
+    res_asp = timing_trainer(_cfg(), OSP(force="asp")).run()
+    res_bsp = timing_trainer(_cfg(), BSP()).run()
+    assert res_asp.mean_bst < 0.1 * res_bsp.mean_bst
+
+
+def test_forced_modes_pass_their_gib_pins_under_monitors():
+    """The osp.gib monitor asserts all-RS / all-ICS at every round close."""
+    for force in ("bsp", "asp"):
+        _result, report = run_checked(timing_trainer(_cfg(), OSP(force=force)))
+        assert report.ok, report.render()
+        assert report.monitors["osp.gib"][0] > 0

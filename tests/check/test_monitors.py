@@ -1,0 +1,117 @@
+"""Runtime invariant monitors: pass on healthy runs, catch injected bugs."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    InvariantChecker,
+    InvariantViolation,
+    NetworkConservationMonitor,
+    run_checked,
+)
+from repro.core.gib import GIB
+from repro.core.osp import OSP
+from repro.harness.workloads import (
+    WorkloadConfig,
+    make_numeric_dataset,
+    numeric_trainer,
+    timing_trainer,
+)
+from repro.sync import BSP, DSSP, SSP
+
+
+def _cfg(workers=3, epochs=2, ipe=4, seed=7):
+    return WorkloadConfig(
+        card_name="resnet50-cifar10",
+        n_workers=workers,
+        n_epochs=epochs,
+        iterations_per_epoch=ipe,
+        sigma=0.1,
+        seed=seed,
+    )
+
+
+def _numeric(sync, cfg=None, **kwargs):
+    cfg = cfg or _cfg()
+    data = make_numeric_dataset(cfg.card, n_samples=240, seed=cfg.seed)
+    return numeric_trainer(cfg, sync, data=data, **kwargs)
+
+
+def test_all_monitors_pass_on_numeric_osp():
+    result, report = run_checked(_numeric(OSP()))
+    assert report.ok
+    for name in ("net.conservation", "ps.ledger", "osp.gib", "ps.arena_parity"):
+        checks, violations = report.monitors[name]
+        assert checks > 0, name
+        assert violations == 0, name
+    assert "sync.staleness" in report.skipped
+    assert result.recorder.counter("check.events_checked") == report.total_checks
+    assert result.recorder.counter("check.violation") == 0
+
+
+def test_staleness_monitor_checks_ssp_and_dssp():
+    for sync in (SSP(staleness=2), DSSP()):
+        _result, report = run_checked(timing_trainer(_cfg(), sync))
+        assert report.ok
+        checks, violations = report.monitors["sync.staleness"]
+        assert checks > 0
+        assert violations == 0
+
+
+def test_inapplicable_monitors_are_skipped_not_failed():
+    _result, report = run_checked(timing_trainer(_cfg(), BSP()))
+    assert report.ok
+    assert set(report.skipped) == {"osp.gib", "sync.staleness", "ps.arena_parity"}
+    assert report.monitors["net.conservation"][0] > 0
+
+
+def test_injected_gib_coverage_hole_is_caught():
+    """A staged GIB that silently drops a layer must fail osp.gib."""
+    trainer = timing_trainer(_cfg(), OSP())
+    sync = trainer.sync_model
+    orig = sync._refresh_gib
+
+    def corrupt(ctx):
+        orig(ctx)
+        if sync._pending_gib is not None:
+            sync._pending_gib = GIB.all_unimportant(sync._pending_gib.layers[:-1])
+
+    sync._refresh_gib = corrupt  # checker wraps on top and sees the damage
+    checker = InvariantChecker(trainer, strict=False)
+    result = trainer.run()
+    report = checker.finish()
+    assert not report.ok
+    assert all(v.monitor == "osp.gib" for v in report.violations)
+    assert any("missing" in str(v) for v in report.violations)
+    assert result.recorder.counter("check.violation") == len(report.violations)
+
+
+def test_strict_mode_raises_on_double_deposit():
+    trainer = _numeric(OSP())
+    InvariantChecker(trainer, strict=True)
+    grads = {n: np.zeros_like(a) for n, a in trainer.ps.snapshot().items()}
+    trainer.ps.accumulate("b0", 0, grads)
+    with pytest.raises(InvariantViolation, match="deposited twice"):
+        trainer.ps.accumulate("b0", 0, grads)
+
+
+def test_network_tampering_detected_at_finish():
+    trainer = timing_trainer(_cfg(), BSP())
+    checker = InvariantChecker(
+        trainer, monitors=[NetworkConservationMonitor()], strict=False
+    )
+    trainer.run()
+    trainer.network.topology.links[0].bytes_carried += 12345.0
+    report = checker.finish()
+    assert not report.ok
+    assert report.violations[0].monitor == "net.conservation"
+
+
+def test_monitors_do_not_perturb_the_timeline():
+    """A checked run is bit-identical (virtual time, loss) to an unchecked one."""
+    plain = timing_trainer(_cfg(), OSP()).run()
+    checked, report = run_checked(timing_trainer(_cfg(), OSP()))
+    assert report.ok
+    assert checked.wall_time == plain.wall_time
+    assert checked.mean_bst == plain.mean_bst
+    assert len(checked.recorder.iterations) == len(plain.recorder.iterations)

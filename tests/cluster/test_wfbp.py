@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster import ClusterSpec, DistributedTrainer, NumericEngine, TimingEngine, TrainingPlan
 from repro.data import make_image_classification, train_test_split
@@ -9,6 +11,7 @@ from repro.hardware import NoJitter
 from repro.nn.models import MLP, get_card
 from repro.nn.models.registry import ModelCard
 from repro.sync import BSP, WFBP
+from repro.sync.wfbp import wfbp_overlap
 
 
 def run_timing(sync, epochs=2, ipe=4, workers=8):
@@ -39,6 +42,56 @@ def test_wfbp_hides_roughly_the_backward_window():
     # BSP push phase ~ N*S/b; WFBP saves up to t_bwd of it.
     saved = res_bsp.mean_bst - res_wfbp.mean_bst
     assert saved == pytest.approx(t_bwd, rel=0.35)
+
+
+_layer_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e8, allow_nan=False), min_size=1, max_size=12
+)
+
+
+@given(_layer_lists, st.floats(min_value=1.0, max_value=1e9))
+@settings(max_examples=100, deadline=None)
+def test_overlap_decomposition_conserves_layer_bytes(sizes, rate):
+    """hidden + exposed == nbytes per layer; totals sum to model bytes."""
+    layers = [(f"l{i}", b) for i, b in enumerate(sizes)]
+    sched = wfbp_overlap(layers, t_bwd=1.0, fair_rate=rate)
+    assert len(sched) == len(layers)
+    for (name, nbytes), (sname, hidden, exposed) in zip(layers, sched):
+        assert sname == name
+        assert 0.0 <= hidden <= nbytes + 1e-9
+        assert hidden + exposed == pytest.approx(nbytes, abs=1e-6)
+    total = sum(b for _n, b in layers)
+    assert sum(h + e for _n, h, e in sched) == pytest.approx(total, rel=1e-12, abs=1e-6)
+
+
+@given(
+    _layer_lists,
+    st.floats(min_value=1.0, max_value=1e8),
+    st.floats(min_value=1.0, max_value=4.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_exposed_bytes_monotone_nonincreasing_in_bandwidth(sizes, rate, factor):
+    """More bandwidth never increases the exposed (BST-visible) bytes."""
+    layers = [(f"l{i}", b) for i, b in enumerate(sizes)]
+    exposed_slow = sum(e for _n, _h, e in wfbp_overlap(layers, 1.0, rate))
+    exposed_fast = sum(e for _n, _h, e in wfbp_overlap(layers, 1.0, rate * factor))
+    assert exposed_fast <= exposed_slow + 1e-6
+
+
+def test_overlap_no_double_charge_after_idle_gap():
+    # Layer "a" (8 B at rate 1) finishes its push at t=8; "b" becomes
+    # ready at t_bwd*8/13 ~ 6.15 and starts at t=8, leaving 2 s of the
+    # 10 s backward window => 2 B hidden. The old cumulative-budget
+    # accounting charged a's 8 B against b's (t_bwd - ready)*rate window
+    # and hid nothing.
+    sched = wfbp_overlap([("a", 8.0), ("b", 5.0)], t_bwd=10.0, fair_rate=1.0)
+    assert sched[0][1] == pytest.approx(8.0)  # "a" fully hidden
+    assert sched[1][1] == pytest.approx(2.0)  # "b" hides the FIFO remainder
+
+
+def test_overlap_zero_rate_exposes_everything():
+    sched = wfbp_overlap([("a", 5.0)], t_bwd=10.0, fair_rate=0.0)
+    assert sched == [("a", 0.0, 5.0)]
 
 
 def test_wfbp_numeric_matches_bsp_parameters():

@@ -30,7 +30,7 @@ def test_topk_keeps_largest():
     payload, wire = TopK(0.5).compress(g)
     out = TopK(0.5).decompress(payload)
     assert np.allclose(out["w"], [0, -5.0, 0, 3.0])
-    assert wire == 2 * 8
+    assert wire == 2 * 8 + 4  # 2 kept entries + 1 tensor's metadata
 
 
 def test_topk_full_ratio_lossless():
@@ -77,6 +77,37 @@ def test_property_topk_reconstruction_subset(seed, ratio):
         nz = out[k] != 0
         # kept entries match original exactly; zeros elsewhere
         assert np.allclose(out[k][nz], g[k][nz])
+
+
+def test_topk_exact_k_with_ties_across_tensors():
+    # 10 identical magnitudes split over two tensors: the tie-trim must
+    # still land on exactly k kept entries.
+    g = {"a": np.ones(6), "b": -np.ones(4)}
+    payload, _ = TopK(0.5).compress(g)
+    assert payload["indices"].size == 5
+
+
+def test_topk_decompress_preserves_dtype():
+    g = {"w": np.random.default_rng(0).normal(size=8).astype(np.float32)}
+    out = TopK(0.5).decompress(TopK(0.5).compress(g)[0])
+    assert out["w"].dtype == np.float32
+
+
+def test_topk_wire_counts_per_tensor_metadata():
+    # dense_bytes convention: 4 bytes/float. Sparse wire = kept x (4-byte
+    # value + 4-byte index) + 4 bytes of metadata per tensor, matching
+    # Uniform8Bit's 4-bytes/tensor scale accounting.
+    g = grads(sizes=((10,), (4, 5)))  # 30 entries, 2 tensors
+    _p, wire = TopK(0.2).compress(g)  # k = 6
+    assert wire == 6 * 8 + 2 * 4
+    assert dense_bytes(g) == 30 * 4
+
+
+def test_randomk_wire_matches_topk_convention():
+    g = grads(sizes=((10,), (4, 5)))
+    _pt, wt = TopK(0.2).compress(g)
+    _pr, wr = RandomK(0.2, seed=0).compress(g)
+    assert wt == wr
 
 
 # ---------------------------------------------------------------- RandomK
@@ -143,6 +174,29 @@ def test_quantize_zero_tensor():
     c = Uniform8Bit()
     out = c.decompress(c.compress(g)[0])
     assert np.allclose(out["w"], 0.0)
+
+
+@pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+def test_quantize_nonfinite_roundtrips_to_zeros(bad):
+    # Regression: a single NaN/inf entry made scale non-finite and the
+    # int8 cast undefined. The poisoned tensor now takes the zero path.
+    g = {"w": np.array([0.5, bad, -1.0]), "ok": np.array([1.0, 2.0])}
+    c = Uniform8Bit()
+    payload, wire = c.compress(g)
+    q, scale = payload["w"]
+    assert scale == 0.0
+    assert q.dtype == np.int8 and not q.any()
+    out = c.decompress(payload)
+    assert np.all(out["w"] == 0.0)
+    assert np.isfinite(out["ok"]).all()  # healthy tensors unaffected
+    assert wire == 3 + 4 + 2 + 4
+
+
+def test_quantize_nonfinite_deterministic():
+    g = {"w": np.array([np.nan, np.inf, 1.0])}
+    a = Uniform8Bit().compress(g)[0]["w"]
+    b = Uniform8Bit().compress(g)[0]["w"]
+    assert np.array_equal(a[0], b[0]) and a[1] == b[1] == 0.0
 
 
 # ------------------------------------------------------------- residual EF

@@ -46,6 +46,20 @@ def test_loopback_transfer_is_free():
     assert env.now == 0.0
 
 
+def test_utilization_unaffected_by_active_fault_window():
+    # Regression: utilization divided historical bytes_carried by the
+    # *current* fault-adjusted bandwidth, so a report taken during an
+    # active bandwidth dip overstated whole-run utilization 1/factor-fold.
+    env, net = make_net(bandwidth=100.0)
+    net.transfer(0, 1, size=500.0)
+    env.run()  # completes at t=5 with the uplink fully busy
+    up = next(l for l in net.topology.links if l.name == "up:0")
+    before = up.utilization(10.0)
+    up.apply_fault(bandwidth_factor=0.25)  # dip still active at report time
+    assert up.utilization(10.0) == pytest.approx(before) == pytest.approx(0.5)
+    up.clear_fault(bandwidth_factor=0.25)
+
+
 def test_negative_size_rejected():
     env, net = make_net()
     with pytest.raises(ValueError):

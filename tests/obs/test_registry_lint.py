@@ -79,7 +79,7 @@ def test_every_histogram_call_site_is_registered():
 def test_registry_namespaces_are_well_formed():
     for name in ALL_NAMES:
         prefix = name.split(".", 1)[0]
-        assert prefix in {"osp", "faults", "obs", "ckpt", "elastic"}, name
+        assert prefix in {"osp", "faults", "obs", "ckpt", "elastic", "check"}, name
 
 
 def test_pattern_matching_semantics():
