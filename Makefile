@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full perf perf-full faults ckpt check trace examples clean
+.PHONY: install test bench bench-full perf perf-full faults ckpt check trace dash compare examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -62,9 +62,30 @@ trace:
 	  print(f'trace.json OK: {len(evs)} events')"
 	PYTHONPATH=src python -m repro report trace.json
 
+# Time-series dashboard smoke: sampled OSP run with a fault window ->
+# self-contained HTML + CSV + Prometheus exports, then the obs tier-1 tests.
+dash:
+	PYTHONPATH=src python -m repro dash --workload vgg16-cifar10 --sync osp \
+	  --workers 4 --epochs 3 --iterations 6 --out dash.html \
+	  --csv dash.csv --prom dash.prom \
+	  --faults '[{"kind": "straggler", "worker": 2, "start": 5.0, "duration": 40.0, "factor": 3.0}]'
+	PYTHONPATH=src pytest tests/obs -q
+
+# Cross-run regression diff smoke: a clean baseline vs a bandwidth-dip run;
+# the report must attribute the delta to the rs phase and exit non-zero.
+compare:
+	PYTHONPATH=src python -m repro run --sync osp --workers 4 --epochs 3 \
+	  --iterations 6 --summary /tmp/repro-compare-a.json
+	PYTHONPATH=src python -m repro run --sync osp --workers 4 --epochs 3 \
+	  --iterations 6 --summary /tmp/repro-compare-b.json \
+	  --faults '[{"kind": "bandwidth_dip", "start": 2.0, "duration": 120.0, "factor": 0.25}]'
+	PYTHONPATH=src python -m repro report --compare /tmp/repro-compare-a.json /tmp/repro-compare-b.json; \
+	  test $$? -eq 1
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f; done
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} +
 	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -f dash.html dash.csv dash.prom trace.json

@@ -1,0 +1,76 @@
+"""Sampling-overhead benchmark: the time-series plane must be cheap and
+provably non-perturbing.
+
+Three configurations of the same timing-mode OSP workload — bare,
+traced, traced+sampled — measured in host seconds. The hard assertion is
+the semantic one (identical virtual timelines and iteration records:
+sampling buys observability with zero simulation drift); the host-time
+ratio is reported, with only a very loose guard so machine noise cannot
+flake CI.
+"""
+
+import time
+
+from conftest import bench_quick
+
+from repro.check import capture_stream, first_divergence
+from repro.core import OSP
+from repro.harness import WorkloadConfig, timing_trainer
+from repro.metrics.report import format_table
+
+
+def _cfg():
+    quick = bench_quick()
+    return WorkloadConfig(
+        "vgg16-cifar10",
+        n_workers=8,
+        n_epochs=4 if quick else 12,
+        iterations_per_epoch=8 if quick else 16,
+        sigma=0.1,
+        seed=7,
+    )
+
+
+def _run(mode: str):
+    trainer = timing_trainer(_cfg(), OSP())
+    if mode in ("traced", "sampled"):
+        trainer.enable_tracing()
+    if mode == "sampled":
+        trainer.enable_sampling()
+    t0 = time.perf_counter()
+    result = trainer.run()
+    host = time.perf_counter() - t0
+    return trainer, result, host
+
+
+def _experiment():
+    out = {}
+    for mode in ("bare", "traced", "sampled"):
+        out[mode] = _run(mode)
+    return out
+
+
+def test_sampling_overhead(benchmark):
+    out = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    rows = []
+    for mode, (_t, result, host) in out.items():
+        n_series = len(result.sampler.series) if result.sampler else 0
+        rows.append((mode, f"{host:.3f}", f"{result.wall_time:.3f}", n_series))
+    print()
+    print(
+        format_table(
+            ["mode", "host s", "virtual s", "series"],
+            rows,
+            title="Time-series sampling overhead (timing mode, 8 workers)",
+        )
+    )
+
+    bare_t, bare_r, bare_host = out["bare"]
+    samp_t, samp_r, samp_host = out["sampled"]
+    # The guarantee that matters: the sampled run is bit-identical.
+    assert first_divergence(
+        capture_stream(bare_t, bare_r), capture_stream(samp_t, samp_r)
+    ) is None
+    assert samp_r.sampler is not None and samp_r.sampler.samples_taken > 0
+    # Loose host-time guard: sampling must not blow the run up wholesale.
+    assert samp_host < 10.0 * max(bare_host, 1e-3)

@@ -20,6 +20,7 @@ from repro.check.monitors import (
     CheckReport,
     DEFAULT_MONITORS,
     GIBInvariantMonitor,
+    ICSInflightMonitor,
     InvariantChecker,
     InvariantViolation,
     MONITOR_REGISTRY,
@@ -33,9 +34,12 @@ from repro.check.replay import (
     Divergence,
     ReplayEvent,
     ReplayReport,
+    STREAM_SCHEMA,
     capture_stream,
     differential_replay,
+    dump_stream,
     first_divergence,
+    load_stream,
     replay_flat_arena,
     replay_resume,
     span_context,
@@ -47,6 +51,7 @@ __all__ = [
     "DEFAULT_MONITORS",
     "Divergence",
     "GIBInvariantMonitor",
+    "ICSInflightMonitor",
     "InvariantChecker",
     "InvariantViolation",
     "MONITOR_REGISTRY",
@@ -55,10 +60,13 @@ __all__ = [
     "PSLedgerMonitor",
     "ReplayEvent",
     "ReplayReport",
+    "STREAM_SCHEMA",
     "StalenessBoundMonitor",
     "capture_stream",
     "differential_replay",
+    "dump_stream",
     "first_divergence",
+    "load_stream",
     "replay_flat_arena",
     "replay_resume",
     "run_checked",

@@ -437,12 +437,97 @@ class ArenaParityMonitor(Monitor):
         self._verify()
 
 
+class ICSInflightMonitor(Monitor):
+    """OSP ICS in-flight accounting: netsim vs gauge vs protocol state.
+
+    Three views of "unimportant-gradient bytes on the wire" must agree at
+    every network drain:
+
+    * the netsim ground truth — payload sizes of active ``ics-push`` flows;
+    * the traced ``osp.inflight_ics_bytes`` gauge (what dashboards sample);
+    * OSP's own ``_ics_unarrived`` ledger (what checkpoint discard policy
+      and ``worker_signals`` report).
+
+    The gauge/ledger pair must match exactly (both are updated in the same
+    synchronous stretch of the ICS push process). The netsim view is a
+    *lower* bound on the gauge rather than an equality: the gauge is bumped
+    just before ``transfer()`` installs the flow, and stays up until the
+    pushing process resumes after the flow completed — both windows contain
+    drains where netsim legitimately trails. At run end all three must be
+    zero, except after crashes / quorum timeouts / elastic leaves, which
+    legally strand an in-flight share (same excuse list as ``ps.ledger``).
+    """
+
+    name = "osp.ics_inflight"
+    cost = "O(active flows) per network drain"
+
+    def attach(self, checker, trainer) -> bool:
+        sync = trainer.sync_model
+        if not isinstance(sync, OSP) or not trainer.env.tracer:
+            return False
+        self._sync = sync
+        self._net = trainer.network
+        self._tracer = trainer.env.tracer
+        _wrap(self._net, "_drain", self._on_drain)
+        return True
+
+    def _on_drain(self, orig):
+        orig()
+        self._verify()
+
+    def _verify(self) -> None:
+        self.checks += 1
+        gauge = self._tracer.gauge_value("osp.inflight_ics_bytes")
+        ledger = sum(self._sync._ics_unarrived.values())
+        wire = sum(
+            f.size
+            for f in self._net._active.values()
+            if isinstance(f.tag, tuple) and f.tag and f.tag[0] == "ics-push"
+        )
+        eps = 1e-6 + 1e-9 * max(gauge, ledger, wire)
+        if abs(gauge - ledger) > eps:
+            self.fail(
+                f"gauge osp.inflight_ics_bytes {gauge:.3f} B != OSP "
+                f"unarrived ledger {ledger:.3f} B",
+                gauge=gauge,
+                ledger=ledger,
+            )
+        if wire > gauge + eps:
+            self.fail(
+                f"netsim carries {wire:.3f} B of active ics-push payload "
+                f"but gauge claims only {gauge:.3f} B in flight",
+                wire=wire,
+                gauge=gauge,
+            )
+
+    def finish(self, trainer) -> None:
+        rec = trainer.recorder
+        excusable = (
+            rec.counter("faults.worker_crash")
+            or rec.counter("osp.quorum_timeout")
+            or rec.counter("elastic.worker_leave")
+        )
+        if excusable:
+            return
+        self.checks += 1
+        gauge = self._tracer.gauge_value("osp.inflight_ics_bytes")
+        ledger = sum(self._sync._ics_unarrived.values())
+        if abs(gauge) > 1e-6 or abs(ledger) > 1e-6:
+            self.fail(
+                f"ICS in-flight not drained at run end: gauge {gauge:.3f} B, "
+                f"ledger {ledger:.3f} B (no crash/timeout/leave to excuse)",
+                gauge=gauge,
+                ledger=ledger,
+            )
+
+
 DEFAULT_MONITORS: tuple[type, ...] = (
     NetworkConservationMonitor,
     PSLedgerMonitor,
     GIBInvariantMonitor,
     StalenessBoundMonitor,
     ArenaParityMonitor,
+    ICSInflightMonitor,
 )
 
 MONITOR_REGISTRY: dict[str, type] = {m.name: m for m in DEFAULT_MONITORS}
@@ -563,6 +648,7 @@ __all__ = [
     "CheckReport",
     "DEFAULT_MONITORS",
     "GIBInvariantMonitor",
+    "ICSInflightMonitor",
     "InvariantChecker",
     "InvariantViolation",
     "MONITOR_REGISTRY",

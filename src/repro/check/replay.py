@@ -20,6 +20,7 @@ one instead of eyeballing two dumps.
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -89,6 +90,61 @@ def capture_stream(trainer, result) -> list[ReplayEvent]:
         digest = hashlib.sha256(plane.tobytes()).hexdigest()
         events.append(ReplayEvent("params", ("sha256",), (digest,)))
     events.append(ReplayEvent("end", ("wall_time",), (result.wall_time,)))
+    return events
+
+
+#: dump_stream/load_stream wire format version.
+STREAM_SCHEMA = "repro.replay_stream/1"
+
+
+def dump_stream(events: Sequence[ReplayEvent], path: str | Path) -> Path:
+    """Serialize a replay stream to JSON-lines.
+
+    Line 1 is a schema header; each following line is one event as
+    ``{"kind", "key", "value"}``. Floats survive the round trip exactly
+    (``json`` emits ``repr``-style shortest float64 representations), so a
+    loaded stream diffs bit-identically against a fresh capture — which is
+    what makes committed golden streams a meaningful CI gate.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps({"schema": STREAM_SCHEMA, "events": len(events)})]
+    for ev in events:
+        lines.append(
+            json.dumps(
+                {"kind": ev.kind, "key": list(ev.key), "value": list(ev.value)}
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_stream(path: str | Path) -> list[ReplayEvent]:
+    """Load a stream written by :func:`dump_stream`.
+
+    JSON has no tuples, so keys/values come back as lists and are
+    re-tupled here; ints and floats keep their JSON types, matching what
+    :func:`capture_stream` produced.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty replay stream")
+    header = json.loads(lines[0])
+    if header.get("schema") != STREAM_SCHEMA:
+        raise ValueError(
+            f"{path}: not a replay stream (schema={header.get('schema')!r}, "
+            f"expected {STREAM_SCHEMA!r})"
+        )
+    events = [
+        ReplayEvent(doc["kind"], tuple(doc["key"]), tuple(doc["value"]))
+        for doc in map(json.loads, lines[1:])
+    ]
+    if len(events) != int(header.get("events", len(events))):
+        raise ValueError(
+            f"{path}: truncated stream ({len(events)} events, header "
+            f"promised {header.get('events')})"
+        )
     return events
 
 
@@ -335,11 +391,14 @@ def replay_resume(
 
 __all__ = [
     "Divergence",
+    "STREAM_SCHEMA",
     "ReplayEvent",
     "ReplayReport",
     "capture_stream",
     "differential_replay",
+    "dump_stream",
     "first_divergence",
+    "load_stream",
     "replay_flat_arena",
     "replay_resume",
     "span_context",

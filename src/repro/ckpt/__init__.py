@@ -18,6 +18,7 @@ from repro.ckpt.snapshot import (
     describe,
     latest_checkpoint,
     load_checkpoint,
+    verify_roundtrip,
     write_checkpoint,
 )
 
@@ -31,5 +32,6 @@ __all__ = [
     "describe",
     "latest_checkpoint",
     "load_checkpoint",
+    "verify_roundtrip",
     "write_checkpoint",
 ]

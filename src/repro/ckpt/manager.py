@@ -17,7 +17,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
-from repro.ckpt.snapshot import Checkpoint, capture, write_checkpoint
+from repro.ckpt.snapshot import (
+    Checkpoint,
+    capture,
+    verify_roundtrip,
+    write_checkpoint,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.context import TrainerContext
@@ -115,6 +120,11 @@ class CheckpointManager:
             ics_discarded_bytes=discarded,
         )
         path = write_checkpoint(snapshot, self.checkpoint_path(epoch))
+        # A checkpoint is only durable once the written file provably
+        # decodes back to the captured snapshot; a corrupt save must fail
+        # here, at write time, not at some future restore.
+        verify_roundtrip(snapshot, path)
+        ctx.recorder.incr("ckpt.roundtrip_verified")
         self.latest = snapshot
         self.saved.append(path)
         ctx.trace.instant(

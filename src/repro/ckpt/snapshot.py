@@ -106,6 +106,47 @@ def load_checkpoint(path: str | Path) -> Checkpoint:
     return Checkpoint(meta=meta, arrays=arrays)
 
 
+def verify_roundtrip(ckpt: Checkpoint, path: str | Path) -> None:
+    """Re-load the checkpoint just written to ``path`` and prove it equals
+    the in-memory snapshot — metadata as canonical JSON, every plane
+    bit-exact (key set, dtype, shape, bytes).
+
+    Called by :class:`repro.ckpt.CheckpointManager` between the atomic
+    write and declaring the checkpoint durable: a snapshot that cannot be
+    read back identically (filesystem corruption, a non-JSON-stable meta
+    value, an array silently cast by ``np.savez``) must fail the *save*,
+    not the eventual restore. Raises :class:`CheckpointError`.
+    """
+    path = Path(path)
+    reloaded = load_checkpoint(path)
+    want = json.dumps(ckpt.meta, sort_keys=True)
+    got = json.dumps(reloaded.meta, sort_keys=True)
+    if want != got:
+        raise CheckpointError(
+            f"{path}: round-trip metadata mismatch (written checkpoint does "
+            "not decode to the captured snapshot)"
+        )
+    if set(reloaded.arrays) != set(ckpt.arrays):
+        missing = sorted(set(ckpt.arrays) - set(reloaded.arrays))
+        foreign = sorted(set(reloaded.arrays) - set(ckpt.arrays))
+        raise CheckpointError(
+            f"{path}: round-trip array keys differ "
+            f"(missing {missing}, foreign {foreign})"
+        )
+    for key, arr in ckpt.arrays.items():
+        back = reloaded.arrays[key]
+        src = np.asarray(arr)
+        if back.dtype != src.dtype or back.shape != src.shape:
+            raise CheckpointError(
+                f"{path}: plane {key!r} round-tripped as "
+                f"{back.dtype}{back.shape}, captured {src.dtype}{src.shape}"
+            )
+        if src.tobytes() != back.tobytes():
+            raise CheckpointError(
+                f"{path}: plane {key!r} is not bit-identical after re-load"
+            )
+
+
 def latest_checkpoint(directory: str | Path) -> Optional[Path]:
     """Newest checkpoint file in ``directory`` by epoch number, or None."""
     paths = sorted(Path(directory).glob("ckpt-epoch*.npz"))
@@ -281,5 +322,6 @@ __all__ = [
     "describe",
     "latest_checkpoint",
     "load_checkpoint",
+    "verify_roundtrip",
     "write_checkpoint",
 ]

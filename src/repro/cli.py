@@ -101,9 +101,17 @@ _HEADERS = ["sync", "samples/s", "BST (ms)", "BCT (ms)", "best metric", "virtual
 
 def cmd_run(args) -> int:
     trainer = _build_trainer(args, args.sync)
+    if getattr(args, "summary", None):
+        trainer.enable_sampling()  # implies tracing (phase attribution)
     if args.trace:
         trainer.enable_tracing()
     res = trainer.run()
+    if getattr(args, "summary", None):
+        from repro.obs.compare import run_summary, save_summary
+
+        save_summary(run_summary(res), args.summary)
+        print(f"wrote run summary to {args.summary} "
+              "(diff two with `repro report --compare A.json B.json`)")
     if args.trace:
         from repro.obs.chrome import write_unified_trace
 
@@ -155,6 +163,22 @@ def cmd_report(args) -> int:
         overlap_report_from_trace,
     )
 
+    if args.compare:
+        from repro.obs.compare import compare_runs
+
+        report = compare_runs(
+            args.compare[0], args.compare[1], max_slowdown=args.max_slowdown
+        )
+        if args.json:
+            print(json.dumps(report.as_dict()))
+        else:
+            print(report.render())
+        return 1 if report.verdict == "regression" else 0
+    if args.file is None:
+        print("error: report needs a FILE or --compare A.json B.json",
+              file=sys.stderr)
+        return 2
+
     payload = json.loads(Path(args.file).read_text())
     if isinstance(payload, list) or "traceEvents" in payload:
         if isinstance(payload, list):  # legacy bare event array
@@ -170,6 +194,32 @@ def cmd_report(args) -> int:
         print(json.dumps(report.to_dict()))
     else:
         print(report.render())
+    return 0
+
+
+def cmd_dash(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.compare import run_summary, save_summary
+    from repro.obs.dash import export_csv, export_prometheus, render_dashboard
+
+    trainer = _build_trainer(args, args.sync)
+    sampler = trainer.enable_sampling(interval=args.interval)
+    res = trainer.run()
+    title = f"{args.workload} / {res.sync_name}"
+    out = Path(args.out)
+    out.write_text(render_dashboard(res, sampler, title=title))
+    print(f"wrote dashboard to {out} "
+          f"({len(sampler.series)} tracks, {sampler.samples_taken} samples)")
+    if args.csv:
+        Path(args.csv).write_text(export_csv(sampler))
+        print(f"wrote samples CSV to {args.csv}")
+    if args.prom:
+        Path(args.prom).write_text(export_prometheus(sampler))
+        print(f"wrote Prometheus text exposition to {args.prom}")
+    if args.summary:
+        save_summary(run_summary(res, sampler), args.summary)
+        print(f"wrote run summary to {args.summary}")
     return 0
 
 
@@ -403,15 +453,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--resume", metavar="FILE", help="resume from a checkpoint file"
     )
+    p_run.add_argument(
+        "--summary", metavar="FILE",
+        help="sample the run and write a run-summary JSON for "
+        "`repro report --compare`",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_rep = sub.add_parser(
         "report",
-        help="overlap/BST report from a trace.json or recorder.json",
+        help="overlap/BST report from a trace.json or recorder.json, "
+        "or --compare two run summaries",
     )
-    p_rep.add_argument("file", help="unified trace JSON or saved recorder JSON")
+    p_rep.add_argument(
+        "file", nargs="?", default=None,
+        help="unified trace JSON or saved recorder JSON",
+    )
+    p_rep.add_argument(
+        "--compare", nargs=2, metavar=("A.json", "B.json"),
+        help="diff two run summaries (from `repro run --summary` or "
+        "`repro dash --summary`); exits 1 on a regression verdict",
+    )
+    p_rep.add_argument(
+        "--max-slowdown", type=float, default=0.05,
+        help="relative wall-clock growth tolerated before the --compare "
+        "verdict is 'regression' (default 0.05)",
+    )
     p_rep.add_argument("--json", action="store_true", help="emit JSON")
     p_rep.set_defaults(fn=cmd_report)
+
+    p_dash = sub.add_parser(
+        "dash",
+        help="run a sampled workload and render a self-contained HTML "
+        "dashboard (per-worker health, gauges, links, fault windows)",
+    )
+    add_common(p_dash)
+    p_dash.add_argument("--sync", default="osp", choices=sorted(SYNC_FACTORIES))
+    p_dash.add_argument(
+        "--out", default="dash.html", metavar="FILE", help="output HTML path"
+    )
+    p_dash.add_argument(
+        "--interval", type=float, default=None, metavar="SECONDS",
+        help="sampling interval in virtual seconds "
+        "(default: half a base compute time)",
+    )
+    p_dash.add_argument(
+        "--csv", metavar="FILE", help="also export every sample as CSV"
+    )
+    p_dash.add_argument(
+        "--prom", metavar="FILE",
+        help="also export last values in Prometheus text format",
+    )
+    p_dash.add_argument(
+        "--summary", metavar="FILE",
+        help="also write a run-summary JSON for `repro report --compare`",
+    )
+    p_dash.set_defaults(fn=cmd_dash)
 
     p_cmp = sub.add_parser("compare", help="compare the four paper sync models")
     add_common(p_cmp)

@@ -111,6 +111,14 @@ class ParameterServer:
         """Number of deposits waiting in a bucket."""
         return len(self._buffers.get(bucket, {}))
 
+    def pending_total(self) -> int:
+        """Total deposits buffered across every open bucket (sampler probe)."""
+        return sum(len(buf) for buf in self._buffers.values())
+
+    def open_buckets(self) -> int:
+        """Buckets currently holding at least one deposit (sampler probe)."""
+        return sum(1 for buf in self._buffers.values() if buf)
+
     def apply_average(self, bucket: str) -> None:
         """Weighted-average the bucket's gradients, apply via the optimizer,
         clear the bucket, bump the version. No-op arrays in timing mode.

@@ -35,6 +35,8 @@ class TrainingResult:
     iteration_end_time: float = 0.0  # when the last *iteration* finished
     #: populated when the trainer ran with :meth:`DistributedTrainer.enable_tracing`
     tracer: object = None
+    #: populated when the trainer ran with :meth:`DistributedTrainer.enable_sampling`
+    sampler: object = None
 
     @property
     def throughput(self) -> float:
@@ -202,6 +204,34 @@ class DistributedTrainer:
         self.engine.tracer = tracer
         return tracer
 
+    def enable_sampling(self, interval: Optional[float] = None, capacity: Optional[int] = None):
+        """Attach a :class:`repro.obs.timeseries.MetricSampler`.
+
+        Must be called before :meth:`run`. Implies :meth:`enable_tracing`
+        (worker signals and gauge mirrors read tracer state). The sampler
+        is driven from ``Environment.step`` and never schedules events, so
+        a sampled run's :class:`TrainingResult` is bit-identical to an
+        unsampled one. Returns the sampler.
+
+        ``interval`` defaults to half the engine's base compute time
+        (≥ 2 samples per iteration).
+        """
+        from repro.obs.timeseries import (
+            MetricSampler,
+            attach_standard_probes,
+            default_interval,
+        )
+
+        if self.env.tracer is None:
+            self.enable_tracing()
+        if interval is None:
+            interval = default_interval(self)
+        kwargs = {} if capacity is None else {"capacity": capacity}
+        sampler = MetricSampler(self.env, interval, **kwargs)
+        attach_standard_probes(sampler, self)
+        self.env.metric_sampler = sampler
+        return sampler
+
     def run(self) -> TrainingResult:
         """Execute the simulation to completion and collect results."""
         self.sync_model.setup(self.ctx)
@@ -243,6 +273,7 @@ class DistributedTrainer:
             context=self.ctx,
             iteration_end_time=self.recorder.end_time(),
             tracer=self.env.tracer,
+            sampler=self.env.metric_sampler,
         )
 
 

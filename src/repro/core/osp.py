@@ -574,5 +574,16 @@ class OSP(SyncModel):
         """Wire bytes of ICS pushes still on the network (discard policy)."""
         return float(sum(self._ics_unarrived.values()))
 
+    def worker_signals(self, ctx) -> dict:
+        # ICS backlog per worker: unimportant-gradient bytes pushed but not
+        # yet landed on the PS. A worker whose backlog never drains before
+        # its next RS close is the one blowing the Eq. 5 budget.
+        signals = {
+            f"osp.worker.{w}.ics_backlog_bytes": 0.0 for w in ctx.alive_workers
+        }
+        for w, unarrived in self._ics_unarrived.items():
+            signals[f"osp.worker.{w}.ics_backlog_bytes"] = float(unarrived)
+        return signals
+
 
 __all__ = ["OSP"]

@@ -203,6 +203,30 @@ class FaultSchedule:
     def crash_events(self) -> tuple[WorkerCrash, ...]:
         return tuple(ev for ev in self.events if isinstance(ev, WorkerCrash))
 
+    def windows(self) -> list[tuple[str, float, float, str]]:
+        """Time windows for dashboard shading: ``(kind, start, duration,
+        detail)`` per windowed event, sorted by start time.
+
+        Crashes are epoch-indexed rather than time-indexed, so they are
+        excluded — the dashboard shades them from the tracer's fault spans,
+        which carry the realised virtual-time window.
+        """
+        out: list[tuple[str, float, float, str]] = []
+        for ev in self.events:
+            if isinstance(ev, WorkerCrash):
+                continue
+            if isinstance(ev, StragglerSlowdown):
+                detail = f"worker {ev.worker} x{ev.factor:g}"
+            elif isinstance(ev, BandwidthDip):
+                detail = f"factor {ev.factor:g}"
+            elif isinstance(ev, LossBurst):
+                detail = f"loss {ev.loss_rate:g}"
+            else:
+                detail = ""
+            out.append((ev.kind, ev.start, ev.duration, detail))
+        out.sort(key=lambda w: (w[1], w[0]))
+        return out
+
 
 def parse_faults(spec: Union[str, Path]) -> FaultSchedule:
     """Build a schedule from inline JSON or a JSON file path.

@@ -99,6 +99,18 @@ class Link:
         if abs(self.keep_factor - 1.0) < 1e-12:
             self.keep_factor = 1.0
 
+    def window_utilization(self, bytes_in_window: float, elapsed: float) -> float:
+        """Utilisation of one sampling window against nominal capacity.
+
+        The caller supplies the window's byte delta (``bytes_carried`` is
+        cumulative); same nominal-capacity convention as
+        :meth:`utilization` so fault windows read as *low* utilisation of a
+        healthy link, not 100% of a degraded one.
+        """
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, bytes_in_window / (self.spec.bandwidth * elapsed))
+
     def utilization(self, elapsed: float) -> float:
         """Average utilisation over ``elapsed`` seconds of simulated time.
 

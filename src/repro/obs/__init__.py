@@ -10,18 +10,38 @@ The measurement substrate for every performance claim in this repo:
   per-layer RS/ICS traffic accounting (the quantitative form of the
   paper's Figs. 1–3);
 * :func:`write_unified_trace` — one Perfetto-loadable Chrome trace with
-  spans + network flows + counter tracks + fault instants.
+  spans + network flows + counter tracks + fault instants;
+* :class:`MetricSampler` (``repro.obs.timeseries``) — clock-driven ring
+  buffer sampling of gauges, links, PS and per-worker health signals;
+* :func:`health_report` — per-worker straggler z-scores / utilisation /
+  staleness histograms;
+* :func:`render_dashboard` / :func:`export_csv` / :func:`export_prometheus`
+  — the ``repro dash`` static-HTML dashboard and its exports;
+* :func:`run_summary` / :func:`compare_runs` — cross-run regression
+  diffing with per-phase / per-worker wall-clock attribution.
 
 See ``docs/observability.md`` for the span taxonomy and workflow.
 """
 
 from repro.obs.chrome import read_trace, tracer_to_trace_events, write_unified_trace
+from repro.obs.compare import (
+    PHASE_GROUPS,
+    PHASES,
+    RegressionReport,
+    compare_runs,
+    load_summary,
+    run_summary,
+    save_summary,
+)
+from repro.obs.dash import export_csv, export_prometheus, render_dashboard
+from repro.obs.health import HealthReport, WorkerHealth, health_report
 from repro.obs.overlap import (
     OverlapReport,
     overlap_report_from_run,
     overlap_report_from_trace,
 )
-from repro.obs.registry import ALL_NAMES, COUNTERS, GAUGES, HISTOGRAMS
+from repro.obs.registry import ALL_NAMES, COUNTERS, GAUGES, HISTOGRAMS, TRACKS
+from repro.obs.timeseries import MetricSampler, Series
 from repro.obs.tracer import (
     NULL_TRACER,
     Histogram,
@@ -36,16 +56,32 @@ __all__ = [
     "COUNTERS",
     "GAUGES",
     "HISTOGRAMS",
+    "HealthReport",
     "Histogram",
     "Instant",
+    "MetricSampler",
     "NULL_TRACER",
     "NullTracer",
     "OverlapReport",
+    "PHASES",
+    "PHASE_GROUPS",
+    "RegressionReport",
+    "Series",
     "Span",
+    "TRACKS",
     "Tracer",
+    "WorkerHealth",
+    "compare_runs",
+    "export_csv",
+    "export_prometheus",
+    "health_report",
+    "load_summary",
     "overlap_report_from_run",
     "overlap_report_from_trace",
     "read_trace",
+    "render_dashboard",
+    "run_summary",
+    "save_summary",
     "tracer_to_trace_events",
     "write_unified_trace",
 ]

@@ -1,0 +1,156 @@
+"""Per-worker health attribution: straggler scores, utilisation, staleness.
+
+Built from a run's recorder (always available) and enriched with the
+time-series plane when the run was sampled. The health model answers the
+operator question behind the paper's §6.2 heterogeneity study: *which*
+worker is slow, by how many standard deviations, and is its slowness
+compute (straggling) or synchronization (backlog/staleness)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class WorkerHealth:
+    """Health summary for one worker over a whole run."""
+
+    worker: int
+    iterations: int
+    mean_compute: float
+    mean_sync: float
+    #: Standard-deviations of this worker's mean compute time above the
+    #: cluster mean-of-means. > 2 flags a straggler; < 0 is a fast worker.
+    straggler_z: float
+    #: Fraction of the run the worker spent computing (vs syncing/idle).
+    utilization: float
+    #: ``{observed staleness value: sample count}`` from the sampled
+    #: ``osp.worker.{w}.staleness`` track (empty when the run was unsampled).
+    staleness_hist: dict[int, int] = field(default_factory=dict)
+    #: Mean sampled uplink goodput in bytes/s (0.0 when unsampled).
+    mean_effective_bandwidth: float = 0.0
+    #: Peak sampled ICS backlog in bytes (0.0 when unsampled or non-OSP).
+    peak_ics_backlog: float = 0.0
+
+    @property
+    def is_straggler(self) -> bool:
+        return self.straggler_z > 2.0
+
+    def as_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "iterations": self.iterations,
+            "mean_compute": self.mean_compute,
+            "mean_sync": self.mean_sync,
+            "straggler_z": self.straggler_z,
+            "utilization": self.utilization,
+            "staleness_hist": {str(k): v for k, v in sorted(self.staleness_hist.items())},
+            "mean_effective_bandwidth": self.mean_effective_bandwidth,
+            "peak_ics_backlog": self.peak_ics_backlog,
+        }
+
+
+@dataclass
+class HealthReport:
+    """Cluster-wide health: one :class:`WorkerHealth` per worker."""
+
+    workers: list[WorkerHealth]
+    wall_time: float
+
+    @property
+    def stragglers(self) -> list[int]:
+        return [w.worker for w in self.workers if w.is_straggler]
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_time": self.wall_time,
+            "stragglers": self.stragglers,
+            "workers": [w.as_dict() for w in self.workers],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{'worker':>6} {'iters':>6} {'compute':>9} {'sync':>9} "
+            f"{'z':>6} {'util':>6} {'stale(max)':>10}"
+        ]
+        for w in self.workers:
+            stale_max = max(w.staleness_hist) if w.staleness_hist else 0
+            flag = " <- straggler" if w.is_straggler else ""
+            lines.append(
+                f"{w.worker:>6} {w.iterations:>6} {w.mean_compute:>9.4f} "
+                f"{w.mean_sync:>9.4f} {w.straggler_z:>+6.2f} "
+                f"{w.utilization:>6.1%} {stale_max:>10}{flag}"
+            )
+        return "\n".join(lines)
+
+
+def health_report(result, sampler=None) -> HealthReport:
+    """Build a :class:`HealthReport` from a :class:`TrainingResult`.
+
+    ``sampler`` defaults to ``result.sampler``; pass one explicitly to
+    attribute health from a detached sampler.
+    """
+    if sampler is None:
+        sampler = getattr(result, "sampler", None)
+    recorder = result.recorder
+    wall = float(result.wall_time) or 1.0
+
+    per_worker: dict[int, list] = {}
+    for rec in recorder.iterations:
+        per_worker.setdefault(rec.worker, []).append(rec)
+
+    means = {
+        w: float(np.mean([r.compute_time for r in recs]))
+        for w, recs in per_worker.items()
+    }
+
+    workers = []
+    for w in sorted(per_worker):
+        recs = per_worker[w]
+        # Leave-one-out z-score: measure each worker against the *other*
+        # workers' spread. A straggler inflates the population std enough
+        # to hide itself in small clusters; excluded from its own baseline
+        # it sticks out at full strength.
+        others = np.array(
+            [m for ow, m in means.items() if ow != w], dtype=np.float64
+        )
+        if others.size >= 2:
+            base_mean = float(others.mean())
+            # Floor the spread at 1% of the baseline so a near-deterministic
+            # cluster doesn't turn ordinary jitter into astronomical scores.
+            base_std = max(float(others.std()), 0.01 * abs(base_mean), 1e-12)
+            z = (means[w] - base_mean) / base_std
+        else:
+            z = 0.0
+        health = WorkerHealth(
+            worker=w,
+            iterations=len(recs),
+            mean_compute=means[w],
+            mean_sync=float(np.mean([r.sync_time for r in recs])),
+            straggler_z=z,
+            utilization=min(1.0, sum(r.compute_time for r in recs) / wall),
+        )
+        if sampler is not None:
+            stale = sampler.series.get(f"osp.worker.{w}.staleness")
+            if stale is not None and len(stale):
+                vals, counts = np.unique(
+                    np.rint(stale.values).astype(np.int64), return_counts=True
+                )
+                health.staleness_hist = {
+                    int(v): int(c) for v, c in zip(vals, counts)
+                }
+            bw = sampler.series.get(f"osp.worker.{w}.effective_bandwidth")
+            if bw is not None and len(bw):
+                health.mean_effective_bandwidth = float(bw.values.mean())
+            backlog = sampler.series.get(f"osp.worker.{w}.ics_backlog_bytes")
+            if backlog is not None and len(backlog):
+                health.peak_ics_backlog = float(backlog.values.max())
+        workers.append(health)
+    return HealthReport(workers=workers, wall_time=float(result.wall_time))
+
+
+__all__ = ["HealthReport", "WorkerHealth", "health_report"]

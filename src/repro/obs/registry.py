@@ -42,6 +42,7 @@ COUNTERS: frozenset[str] = frozenset(
         # checkpoint/restore (repro.ckpt)
         "ckpt.save",
         "ckpt.restore",
+        "ckpt.roundtrip_verified",
         "ckpt.ics_discarded_bytes",
         "ckpt.worker_recover",
         # elastic membership changes (repro.cluster.context)
@@ -69,12 +70,77 @@ GAUGES: frozenset[str] = frozenset(
 #: Histograms collected on the :class:`~repro.obs.Tracer`.
 HISTOGRAMS: frozenset[str] = frozenset({"obs.bst", "obs.bct"})
 
+#: Time-series track name *templates* sampled by
+#: :class:`~repro.obs.timeseries.MetricSampler`. ``{...}`` placeholders
+#: stand for a single dotted segment (a worker index, a link name, …).
+#: Every series the sampler creates must either be a declared gauge
+#: (sampler mirrors of tracer counter tracks keep the gauge's own name)
+#: or match one of these templates — the sampler raises on anything else,
+#: and the registry lint test enforces the same rule over the source tree.
+TRACKS: frozenset[str] = frozenset(
+    {
+        # cluster-wide signals (repro.obs.timeseries standard probes)
+        "timeseries.net.inflight_bytes",
+        "timeseries.net.active_flows",
+        "timeseries.ps.pending_deposits",
+        "timeseries.ps.open_buckets",
+        # per-link signals; {link} is e.g. ``up:3`` / ``down:0``
+        "timeseries.link.{link}.utilization",
+        "timeseries.link.{link}.queue_depth",
+        "timeseries.link.{link}.bandwidth_factor",
+        # per-worker health signals; {w} is the worker index
+        "osp.worker.{w}.compute_time",
+        "osp.worker.{w}.sync_time",
+        "osp.worker.{w}.progress",
+        "osp.worker.{w}.staleness",
+        "osp.worker.{w}.effective_bandwidth",
+        "osp.worker.{w}.ics_backlog_bytes",
+    }
+)
+
 ALL_NAMES: frozenset[str] = COUNTERS | GAUGES | HISTOGRAMS
 
 
 def is_registered_counter(name: str) -> bool:
     """Is ``name`` a declared recorder counter?"""
     return name in COUNTERS
+
+
+def is_registered_track(name: str) -> bool:
+    """Is ``name`` a valid time-series track?
+
+    True for declared tracer gauges (the sampler mirrors those under their
+    own names) and for concrete instantiations of the :data:`TRACKS`
+    templates. Link names may themselves contain ``:`` (``up:3``) but never
+    dots, so matching one template segment per placeholder stays exact.
+    """
+    if name in GAUGES:
+        return True
+    return any(_template_matches(t, name) for t in TRACKS)
+
+
+def _template_matches(template: str, name: str) -> bool:
+    pattern = re.escape(template)
+    # re.escape turns { and } into \{ \} — rewrite each placeholder into a
+    # "no dots" group so ``{w}`` can't swallow several dotted segments.
+    pattern = re.sub(r"\\\{[^}]*\\\}", r"[^.]+", pattern)
+    return re.fullmatch(pattern, name) is not None
+
+
+def track_pattern_matches_registered(pattern: str) -> bool:
+    """Does a (possibly f-string) track-name literal fit the registry?
+
+    Each ``{expr}`` placeholder in ``pattern`` is a single-segment
+    wildcard; the pattern must match a concrete instantiation of some
+    :data:`TRACKS` template (placeholders instantiated with a sample
+    segment) or a declared gauge. Handles concrete names, producer
+    templates (``osp.worker.{w}.staleness``) and consumer templates with
+    wildcard suffixes (``osp.worker.{w}.{suffix}``) uniformly.
+    """
+    regex = re.sub(r"\\\{[^}]*\\\}", r"[^.]+", re.escape(pattern))
+    samples = [re.sub(r"\{[^}]*\}", "0", t) for t in TRACKS]
+    samples.extend(GAUGES)
+    return any(re.fullmatch(regex, s) for s in samples)
 
 
 def pattern_matches_registered(pattern: str, names: frozenset[str] = COUNTERS) -> bool:
@@ -93,6 +159,9 @@ __all__ = [
     "COUNTERS",
     "GAUGES",
     "HISTOGRAMS",
+    "TRACKS",
     "is_registered_counter",
+    "is_registered_track",
     "pattern_matches_registered",
+    "track_pattern_matches_registered",
 ]

@@ -37,6 +37,11 @@ class Environment:
         #: :class:`~repro.simcore.process.Process`). Gives the tracer its
         #: process-local current-span context.
         self.active_process = None
+        #: Optional :class:`repro.obs.timeseries.MetricSampler` (duck-typed).
+        #: Called once per processed event *after* its callbacks ran, so
+        #: sampling observes the post-event state without ever scheduling
+        #: events of its own — sampled runs stay bit-identical to unsampled.
+        self.metric_sampler = None
 
     @property
     def now(self) -> float:
@@ -97,6 +102,9 @@ class Environment:
             if isinstance(exc, BaseException):
                 raise exc
             raise SimulationError(f"event failed with non-exception {exc!r}")
+        sampler = self.metric_sampler
+        if sampler is not None:
+            sampler.on_advance(self._now)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.

@@ -17,6 +17,20 @@ class ASP(SyncModel):
 
     name = "asp"
 
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        #: PS version each worker last pulled — its replica's freshness.
+        self._pull_version: dict[int, int] = {}
+
+    def worker_signals(self, ctx):
+        # Observed staleness: PS updates applied since this worker's last
+        # pull, i.e. how far its replica lags the global model (DSSP-style).
+        version = ctx.ps.version
+        return {
+            f"osp.worker.{w}.staleness": float(version - pulled)
+            for w, pulled in self._pull_version.items()
+        }
+
     def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
         trace = ctx.trace
         actor = f"worker {worker}"
@@ -33,6 +47,7 @@ class ASP(SyncModel):
         yield ctx.transfer_from_ps(worker, nbytes, tag=("asp-pull", worker, iteration))
         trace.end(span)
         ctx.engine.sync_replica(worker, ctx.ps)
+        self._pull_version[worker] = ctx.ps.version
 
 
 __all__ = ["ASP"]

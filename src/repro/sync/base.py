@@ -174,5 +174,18 @@ class SyncModel:
         """Wire bytes currently in flight (checkpoint discard accounting)."""
         return 0.0
 
+    # -- health sampling -------------------------------------------------------
+    def worker_signals(self, ctx: TrainerContext) -> dict:
+        """Per-worker health signals for the time-series sampler.
+
+        Returns a mapping of fully-qualified ``osp.worker.{w}.*`` track
+        names (see :data:`repro.obs.registry.TRACKS`) to current values.
+        Read-only: implementations must not mutate protocol state or create
+        simulation events. Model-specific values override the sampler's
+        generic recorder-derived ones (e.g. SSP's bound-relative staleness
+        replaces the progress-lag estimate).
+        """
+        return {}
+
 
 __all__ = ["SyncModel"]

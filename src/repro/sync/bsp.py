@@ -26,6 +26,12 @@ class BSP(SyncModel):
         super().setup(ctx)
         self._barrier = ctx.barrier()
 
+    def worker_signals(self, ctx):
+        # The barrier pins every replica to the same version: staleness is
+        # identically zero. Emitted explicitly so dashboards show the track
+        # for every sync model rather than a BSP-shaped gap.
+        return {f"osp.worker.{w}.staleness": 0.0 for w in ctx.alive_workers}
+
     def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
         # Same span names as OSP's RS stage (BSP ≡ RS over the full model),
         # so traced timelines compare apples-to-apples.

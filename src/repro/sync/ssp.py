@@ -50,6 +50,17 @@ class SSP(ASP):
         if span is not None:
             ctx.trace.end(span)
 
+    def worker_signals(self, ctx):
+        # Bound-relative staleness (iteration lag behind the fastest worker)
+        # overrides ASP's version-lag estimate — this is the quantity the
+        # SSP bound actually constrains, so it's the one to dashboard.
+        signals = super().worker_signals(ctx)
+        fastest = int(self._progress.max())
+        for w in range(len(self._progress)):
+            signals[f"osp.worker.{w}.progress"] = float(self._progress[w])
+            signals[f"osp.worker.{w}.staleness"] = float(fastest - int(self._progress[w]))
+        return signals
+
     def synchronize(self, ctx, worker, epoch, iteration, grads, loss):
         yield from super().synchronize(ctx, worker, epoch, iteration, grads, loss)
         self._progress[worker] = iteration + 1

@@ -1,0 +1,107 @@
+"""ICSInflightMonitor: netsim / gauge / OSP-ledger agreement at every drain."""
+
+import pytest
+
+from repro.check import ICSInflightMonitor, run_checked
+from repro.core.osp import OSP
+from repro.faults import BandwidthDip, FaultSchedule
+from repro.harness.workloads import WorkloadConfig, timing_trainer
+from repro.sync import BSP
+
+
+def _cfg(**kw):
+    # 3 epochs x 6 iterations: enough for Algorithm 1's budget ramp to
+    # start deferring layers — with a shorter run ICS never fires and the
+    # monitor would pass vacuously.
+    defaults = dict(
+        card_name="vgg16-cifar10",
+        n_workers=4,
+        n_epochs=3,
+        iterations_per_epoch=6,
+        sigma=0.1,
+        seed=7,
+    )
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+def test_passes_on_traced_osp_run():
+    trainer = timing_trainer(_cfg(), OSP())
+    trainer.enable_tracing()
+    _result, report = run_checked(trainer)
+    assert report.ok
+    checks, violations = report.monitors["osp.ics_inflight"]
+    assert checks > 0
+    assert violations == 0
+    # The run must actually exercise ICS, or the agreement is vacuous.
+    hist = trainer.env.tracer.counters.get("osp.inflight_ics_bytes", [])
+    assert any(v > 0 for _t, v in hist)
+
+
+def test_passes_under_bandwidth_faults():
+    # Faults change rates, never accounting: the three views must still
+    # agree at every drain inside the dip window.
+    schedule = FaultSchedule(
+        events=(BandwidthDip(start=2.0, duration=30.0, factor=0.3),)
+    )
+    trainer = timing_trainer(_cfg(faults=schedule), OSP())
+    trainer.enable_tracing()
+    _result, report = run_checked(trainer)
+    assert report.ok
+    checks, _ = report.monitors["osp.ics_inflight"]
+    assert checks > 0
+
+
+def test_skipped_when_untraced_or_non_osp():
+    untraced = timing_trainer(_cfg(), OSP())
+    _res, report = run_checked(untraced)
+    assert "osp.ics_inflight" in report.skipped
+
+    bsp = timing_trainer(_cfg(), BSP())
+    bsp.enable_tracing()
+    _res, report = run_checked(bsp)
+    assert "osp.ics_inflight" in report.skipped
+
+
+def test_catches_gauge_leak():
+    # Drop the first negative gauge update (a "forgot to decrement" bug):
+    # the gauge drifts above the OSP ledger and the monitor must fire at a
+    # subsequent drain, not merely at run end.
+    trainer = timing_trainer(_cfg(), OSP())
+    trainer.enable_tracing()
+    tracer = trainer.env.tracer
+    orig = tracer.gauge_delta
+    dropped = []
+
+    def leaky(name, delta):
+        if name == "osp.inflight_ics_bytes" and delta < 0 and not dropped:
+            dropped.append(delta)
+            return None
+        return orig(name, delta)
+
+    tracer.gauge_delta = leaky
+    _result, report = run_checked(trainer, strict=False)
+    assert dropped, "fault injection never triggered"
+    assert not report.ok
+    _checks, violations = report.monitors["osp.ics_inflight"]
+    assert violations > 0
+    assert any("osp.ics_inflight" in str(v) for v in report.violations)
+
+
+def test_catches_ledger_desync():
+    # Corrupt OSP's unarrived ledger mid-run via an epoch-end hook: the
+    # equality check against the gauge must flag it.
+    trainer = timing_trainer(_cfg(), OSP())
+    trainer.enable_tracing()
+    sync = trainer.sync_model
+
+    def corrupt(epoch, train_loss, metric):
+        sync._ics_unarrived[999] = 12345.0
+
+    trainer.ctx.epoch_end_hooks.append(corrupt)
+    _result, report = run_checked(
+        trainer, monitors=[ICSInflightMonitor], strict=False
+    )
+    assert not report.ok
+    _checks, violations = report.monitors["osp.ics_inflight"]
+    assert violations > 0

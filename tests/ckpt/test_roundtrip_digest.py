@@ -1,0 +1,94 @@
+"""Save-time round-trip verification: a corrupt save fails at the save."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    CheckpointError,
+    CheckpointManager,
+    load_checkpoint,
+    verify_roundtrip,
+    write_checkpoint,
+)
+from repro.core.osp import OSP
+from repro.harness.workloads import (
+    WorkloadConfig,
+    make_numeric_dataset,
+    numeric_trainer,
+)
+
+from tests.ckpt.test_snapshot import make_ckpt
+
+
+def test_verify_roundtrip_accepts_clean_write(tmp_path):
+    ckpt = make_ckpt()
+    path = write_checkpoint(ckpt, tmp_path / "ckpt-epoch0003.npz")
+    verify_roundtrip(ckpt, path)  # must not raise
+
+
+def _rewrite_entry(path, name, payload):
+    """Replace one member of the npz (a zip) with ``payload`` bytes."""
+    with zipfile.ZipFile(path) as zf:
+        entries = {info.filename: zf.read(info.filename) for info in zf.infolist()}
+    entries[name] = payload
+    with zipfile.ZipFile(path, "w") as zf:
+        for fname, data in entries.items():
+            zf.writestr(fname, data)
+
+
+def test_verify_roundtrip_catches_flipped_bits(tmp_path):
+    ckpt = make_ckpt()
+    path = write_checkpoint(ckpt, tmp_path / "ckpt-epoch0003.npz")
+    # Flip one element of ps/params on disk, keeping dtype/shape intact.
+    corrupt = ckpt.arrays["ps/params"].copy()
+    corrupt[3] += 1.0
+    buf = __import__("io").BytesIO()
+    np.save(buf, corrupt)
+    _rewrite_entry(path, "ps/params.npy", buf.getvalue())
+    with pytest.raises(CheckpointError, match="not bit-identical"):
+        verify_roundtrip(ckpt, path)
+
+
+def test_verify_roundtrip_catches_missing_plane(tmp_path):
+    ckpt = make_ckpt()
+    path = write_checkpoint(ckpt, tmp_path / "ckpt-epoch0003.npz")
+    stripped = {k: v for k, v in ckpt.arrays.items() if k != "sync/lgp_ema/0/w"}
+    write_checkpoint(type(ckpt)(meta=ckpt.meta, arrays=stripped), path)
+    with pytest.raises(CheckpointError, match="array keys differ"):
+        verify_roundtrip(ckpt, path)
+
+
+def test_verify_roundtrip_catches_meta_drift(tmp_path):
+    ckpt = make_ckpt()
+    path = write_checkpoint(ckpt, tmp_path / "ckpt-epoch0003.npz")
+    drifted = dict(ckpt.meta, next_epoch=99)
+    write_checkpoint(type(ckpt)(meta=drifted, arrays=ckpt.arrays), path)
+    with pytest.raises(CheckpointError, match="metadata mismatch"):
+        verify_roundtrip(ckpt, path)
+
+
+def test_manager_verifies_every_save(tmp_path):
+    cfg = WorkloadConfig(
+        card_name="resnet50-cifar10",
+        n_workers=3,
+        n_epochs=4,
+        iterations_per_epoch=3,
+        sigma=0.1,
+        seed=11,
+    )
+    data = make_numeric_dataset(cfg.card, n_samples=120, seed=cfg.seed)
+    trainer = numeric_trainer(
+        cfg, OSP(), data=data, checkpoint_every=2, checkpoint_dir=tmp_path
+    )
+    result = trainer.run()
+    saves = result.recorder.counter("ckpt.save")
+    assert saves > 0
+    assert result.recorder.counter("ckpt.roundtrip_verified") == saves
+    # And the written files genuinely load back bit-identical.
+    manager = trainer.checkpoints
+    reloaded = load_checkpoint(manager.saved[-1])
+    for key, arr in manager.latest.arrays.items():
+        assert np.asarray(arr).tobytes() == reloaded.arrays[key].tobytes()

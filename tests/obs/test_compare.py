@@ -1,0 +1,114 @@
+"""Cross-run regression diffing: attribution correctness and verdicts."""
+
+import pytest
+
+from repro.core.osp import OSP
+from repro.faults import BandwidthDip, FaultSchedule, StragglerSlowdown
+from repro.harness.workloads import WorkloadConfig, timing_trainer
+from repro.obs import compare_runs, load_summary, run_summary, save_summary
+from repro.obs.compare import CAUSAL_PHASES, PHASES
+
+
+def _cfg(**kw):
+    defaults = dict(
+        card_name="vgg16-cifar10",
+        n_workers=4,
+        n_epochs=3,
+        iterations_per_epoch=6,
+        sigma=0.1,
+        seed=7,
+    )
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+def _summary(faults=None):
+    trainer = timing_trainer(_cfg(faults=faults), OSP())
+    trainer.enable_sampling()
+    result = trainer.run()
+    return run_summary(result)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _summary()
+
+
+def test_summary_schema_and_round_trip(tmp_path, baseline):
+    assert baseline["schema"] == "repro.run_summary/1"
+    assert set(PHASES) == set(baseline["phases"])
+    assert len(baseline["workers"]) == 4
+    path = save_summary(baseline, tmp_path / "a.json")
+    assert load_summary(path) == baseline
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"schema": "nope"}')
+    with pytest.raises(ValueError, match="not a run summary"):
+        load_summary(bogus)
+
+
+def test_identical_runs_verdict_ok(baseline):
+    rep = compare_runs(baseline, _summary())
+    assert rep.verdict == "ok"
+    assert abs(rep.delta) < 1e-9
+    assert all(abs(d) < 1e-9 for _a, _b, d in rep.phases.values())
+
+
+def test_straggler_attributed_to_compute_and_worker(baseline):
+    # One worker's compute slows 3x for most of the run. The barrier
+    # equalizes everyone's iteration times, so naive span accounting would
+    # smear the delta across all workers' waits — attribution must still
+    # point at compute, on worker 2.
+    faults = FaultSchedule(
+        events=(StragglerSlowdown(worker=2, start=2.0, duration=120.0, factor=3.0),)
+    )
+    rep = compare_runs(baseline, _summary(faults))
+    assert rep.verdict == "regression"
+    assert rep.pct > 0.05
+    assert rep.dominant_phase == "compute"
+    assert rep.dominant_worker == 2
+    # The straggler's own active-time delta dwarfs every other worker's.
+    deltas = {w: d for w, (_a, _b, d) in rep.workers.items()}
+    assert deltas[2] > 2 * max(abs(d) for w, d in deltas.items() if w != 2)
+
+
+def test_bandwidth_dip_attributed_to_rs(baseline):
+    # A cluster-wide dip slows the blocking RS transfers on every worker.
+    faults = FaultSchedule(
+        events=(BandwidthDip(start=2.0, duration=120.0, factor=0.25),)
+    )
+    rep = compare_runs(baseline, _summary(faults))
+    assert rep.verdict == "regression"
+    assert rep.dominant_phase == "rs"
+
+
+def test_improvement_is_symmetric(baseline):
+    faults = FaultSchedule(
+        events=(StragglerSlowdown(worker=2, start=2.0, duration=120.0, factor=3.0),)
+    )
+    slow = _summary(faults)
+    rep = compare_runs(slow, baseline)
+    assert rep.verdict == "improvement"
+    assert rep.pct < -0.05
+    assert rep.dominant_phase == "compute"
+    assert rep.dominant_worker == 2
+
+
+def test_threshold_gates_verdict(baseline):
+    slow = dict(baseline, wall_time=baseline["wall_time"] * 1.04)
+    assert compare_runs(baseline, slow, max_slowdown=0.05).verdict == "ok"
+    assert compare_runs(baseline, slow, max_slowdown=0.02).verdict == "regression"
+
+
+def test_render_marks_dominants(baseline):
+    faults = FaultSchedule(
+        events=(StragglerSlowdown(worker=2, start=2.0, duration=120.0, factor=3.0),)
+    )
+    rep = compare_runs(baseline, _summary(faults))
+    text = rep.render()
+    assert "REGRESSION" in text
+    assert "<- dominant" in text
+    doc = rep.as_dict()
+    assert doc["dominant_phase"] == "compute"
+    assert doc["dominant_worker"] == 2
+    assert set(doc["phases"]) == set(PHASES)
+    assert set(CAUSAL_PHASES) < set(PHASES)

@@ -1,0 +1,108 @@
+"""Dashboard rendering: self-contained HTML, fault shading, exports."""
+
+import xml.etree.ElementTree as ET
+import re
+
+import pytest
+
+from repro.core.osp import OSP
+from repro.faults import BandwidthDip, FaultSchedule, StragglerSlowdown
+from repro.harness.workloads import WorkloadConfig, timing_trainer
+from repro.obs import export_csv, export_prometheus, render_dashboard
+from repro.obs.health import health_report
+
+
+def _cfg(**kw):
+    defaults = dict(
+        card_name="vgg16-cifar10",
+        n_workers=4,
+        n_epochs=3,
+        iterations_per_epoch=6,
+        sigma=0.1,
+        seed=7,
+    )
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def faulted_run():
+    schedule = FaultSchedule(
+        events=(
+            StragglerSlowdown(worker=2, start=5.0, duration=40.0, factor=3.0),
+            BandwidthDip(start=60.0, duration=15.0, factor=0.4),
+        )
+    )
+    trainer = timing_trainer(_cfg(faults=schedule), OSP())
+    trainer.enable_sampling()
+    result = trainer.run()
+    return trainer, result
+
+
+def test_dashboard_is_self_contained(faulted_run):
+    _trainer, result = faulted_run
+    html = render_dashboard(result, title="test run")
+    assert html.lower().startswith("<!doctype html>")
+    # No network dependencies of any kind: no external URLs, no imports.
+    for needle in ("http://", "https://", "@import", "url("):
+        assert needle not in html, f"external reference {needle!r} in dashboard"
+    assert "<script src" not in html
+    assert "<link" not in html
+
+
+def test_dashboard_svgs_parse_and_shade_faults(faulted_run):
+    _trainer, result = faulted_run
+    html = render_dashboard(result)
+    svgs = re.findall(r"<svg[^>]*>.*?</svg>", html, flags=re.S)
+    assert len(svgs) >= 6, "expected charts for worker health, gauges, links"
+    shaded = 0
+    for svg in svgs:
+        # Inline SVG carries no xmlns (HTML parsing supplies it), so
+        # ElementTree sees unnamespaced tags.
+        root = ET.fromstring(svg)  # must be well-formed XML
+        for title in root.iter("title"):
+            if "straggler" in (title.text or "") or "bandwidth" in (title.text or ""):
+                shaded += 1
+    assert shaded > 0, "fault windows not shaded in any chart"
+
+
+def test_dashboard_shows_worker_health(faulted_run):
+    _trainer, result = faulted_run
+    html = render_dashboard(result)
+    report = health_report(result)
+    assert report.stragglers == [2]
+    # Every worker appears in the health table; the straggler is flagged.
+    for w in range(4):
+        assert f"worker {w}" in html
+    assert "straggler" in html.lower()
+
+
+def test_dashboard_requires_sampler():
+    trainer = timing_trainer(_cfg(n_epochs=2, iterations_per_epoch=4), OSP())
+    result = trainer.run()
+    with pytest.raises(ValueError, match="sampl"):
+        render_dashboard(result)
+
+
+def test_csv_export_long_format(faulted_run):
+    _trainer, result = faulted_run
+    csv = export_csv(result.sampler)
+    lines = csv.strip().splitlines()
+    assert lines[0] == "time,track,value"
+    assert len(lines) > 100
+    t, track, v = lines[1].split(",")
+    float(t), float(v)  # parse
+    assert track
+
+
+def test_prometheus_export_labels_workers_and_links(faulted_run):
+    _trainer, result = faulted_run
+    prom = export_prometheus(result.sampler)
+    assert "# TYPE" in prom
+    assert re.search(r'repro_osp_worker_compute_time\{worker="2"\} ', prom)
+    assert re.search(r'repro_timeseries_link_utilization\{link="up:0"\} ', prom)
+    # Exposition format: every non-comment line is `name{labels} value`.
+    for line in prom.strip().splitlines():
+        if line.startswith("#"):
+            continue
+        assert re.match(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$', line), line

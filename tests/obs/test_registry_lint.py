@@ -14,8 +14,11 @@ from repro.obs.registry import (
     COUNTERS,
     GAUGES,
     HISTOGRAMS,
+    TRACKS,
     is_registered_counter,
+    is_registered_track,
     pattern_matches_registered,
+    track_pattern_matches_registered,
 )
 
 SRC = Path(__file__).resolve().parents[2] / "src"
@@ -26,6 +29,13 @@ SRC = Path(__file__).resolve().parents[2] / "src"
 _INCR = re.compile(r"""\.incr\(\s*(f?)(['"])([^'"]+)\2""")
 _GAUGE = re.compile(r"""\.(?:gauge|gauge_delta)\(\s*(f?)(['"])([^'"]+)\2""")
 _OBSERVE = re.compile(r"""\.observe\(\s*(f?)(['"])([^'"]+)\2""")
+#: Any string literal naming a sampled time-series track. The sampler
+#: raises at runtime on unregistered names; this sweep catches producer
+#: *and* consumer sites (probes, health, dashboard lookups) statically,
+#: including ones a given test run never executes.
+_TRACK_LITERAL = re.compile(
+    r"""(f?)(['"])((?:timeseries|osp\.worker)\.[^'"]+)\2"""
+)
 
 
 def _call_sites(regex):
@@ -76,13 +86,47 @@ def test_every_histogram_call_site_is_registered():
         )
 
 
+def test_every_track_literal_is_registered():
+    # Literals ending in '.' are startswith()-style prefixes, not names.
+    sites = [s for s in _call_sites(_TRACK_LITERAL) if not s[2].endswith(".")]
+    assert sites, "lint found no time-series track literals — regex rot?"
+    names = {name for _p, _f, name in sites}
+    assert "timeseries.net.inflight_bytes" in names  # the NetworkProbe site
+    assert any(n.startswith("osp.worker.") for n in names)
+    for path, _is_fstring, name in sites:
+        assert track_pattern_matches_registered(name), (
+            f"{path}: time-series track {name!r} matches no registered "
+            "TRACKS template or gauge"
+        )
+
+
 def test_registry_namespaces_are_well_formed():
     for name in ALL_NAMES:
         prefix = name.split(".", 1)[0]
         assert prefix in {"osp", "faults", "obs", "ckpt", "elastic", "check"}, name
+    for name in TRACKS:
+        prefix = name.split(".", 1)[0]
+        assert prefix in {"timeseries", "osp"}, name
+        assert "{" not in prefix
 
 
 def test_pattern_matching_semantics():
     assert pattern_matches_registered("faults.{ev.kind}")
     assert not pattern_matches_registered("bogus.{x}")
     assert pattern_matches_registered("osp.deadline_miss")
+
+
+def test_track_matching_semantics():
+    # Concrete instantiations: placeholders bind one dot-free segment
+    # (link names contain ':' but never '.').
+    assert is_registered_track("osp.worker.3.compute_time")
+    assert is_registered_track("timeseries.link.up:3.utilization")
+    assert is_registered_track("osp.inflight_ics_bytes")  # gauge mirror
+    assert not is_registered_track("osp.worker.3.made_up")
+    assert not is_registered_track("osp.worker.a.b.compute_time")
+    # Templates: producer style, consumer style with wildcard suffix.
+    assert track_pattern_matches_registered("osp.worker.{w}.staleness")
+    assert track_pattern_matches_registered("osp.worker.{w}.{suffix}")
+    assert track_pattern_matches_registered("timeseries.link.{link.name}.queue_depth")
+    assert not track_pattern_matches_registered("timeseries.cpu.{w}.load")
+    assert not track_pattern_matches_registered("osp.worker.{w}.rss_bytes")
