@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full perf perf-full faults ckpt check trace dash compare examples clean
+.PHONY: install test bench bench-full perf perf-full bench-net bench-net-full faults ckpt check trace dash compare examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -23,6 +23,16 @@ perf:
 # Regenerate the committed BENCH_hotpath.json at full scale.
 perf-full:
 	PYTHONPATH=src python -m repro perf --out BENCH_hotpath.json
+
+# Netsim scaling smoke: quick 4->64-worker sweep to a scratch file, then
+# validate the committed baseline (bit-identity flags + guarded speedup).
+bench-net:
+	PYTHONPATH=src python -m repro perf-net --quick --out /tmp/BENCH_netsim.quick.json
+	PYTHONPATH=src python -m repro perf-net --check BENCH_netsim.json
+
+# Regenerate the committed BENCH_netsim.json at full scale (4->128 workers).
+bench-net-full:
+	PYTHONPATH=src python -m repro perf-net --out BENCH_netsim.json
 
 # Fault-injection smoke: the tier-1 fault tests plus the robustness bench.
 faults:

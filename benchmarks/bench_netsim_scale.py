@@ -1,0 +1,47 @@
+"""Perf-regression benchmark — the scaled network core.
+
+Runs the ``repro perf-net`` harness (quick mode by default, the full
+4→128-worker sweep with ``REPRO_BENCH_FULL=1``), prints the scaling table,
+and asserts what the tier-1 guard asserts about the committed
+``BENCH_netsim.json``: every sweep point is virtual-time identical across
+solver modes and the 64-worker point clears the guarded speedup.
+"""
+
+from conftest import bench_quick
+
+from repro.metrics.report import format_table
+from repro.perf.netsim_scale import MIN_SPEEDUP_64, run_netsim_bench
+
+
+def _run():
+    return run_netsim_bench(quick=bench_quick())
+
+
+def test_netsim_scaling(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    sweep = data["sweep"]
+    print()
+    rows = [
+        (n, f"{e['legacy_s'] * 1e3:.1f}", f"{e['fast_s'] * 1e3:.1f}",
+         f"{e['speedup']:.2f}x", str(e["identical"]),
+         f"{e['legacy_rerates']}", f"{e['fast_rerates']}")
+        for n, e in sorted(sweep.items(), key=lambda kv: int(kv[0]))
+    ]
+    print(
+        format_table(
+            ["workers", "legacy (ms)", "fast (ms)", "speedup", "identical",
+             "legacy rerates", "fast rerates"],
+            rows,
+            title="Netsim scaling (legacy vs fast network core)",
+        )
+    )
+    e2e = data["end_to_end"]
+    print(f"end-to-end OSP ({e2e['card']}, {e2e['workers']}w): "
+          f"{e2e['speedup']:.2f}x host, identical={e2e['identical']}")
+    for n, entry in sweep.items():
+        assert entry["identical"], f"{n}-worker sweep diverged across modes"
+    assert e2e["identical"], "end-to-end OSP run diverged across modes"
+    assert sweep["64"]["speedup"] >= MIN_SPEEDUP_64, (
+        f"64-worker speedup {sweep['64']['speedup']:.2f}x "
+        f"below guarded {MIN_SPEEDUP_64}x"
+    )

@@ -40,6 +40,7 @@ from repro.check.replay import (
     dump_stream,
     first_divergence,
     load_stream,
+    replay_fairshare,
     replay_flat_arena,
     replay_resume,
     span_context,
@@ -67,6 +68,7 @@ __all__ = [
     "dump_stream",
     "first_divergence",
     "load_stream",
+    "replay_fairshare",
     "replay_flat_arena",
     "replay_resume",
     "run_checked",

@@ -296,6 +296,48 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_perf_net(args) -> int:
+    from repro.perf.netsim_scale import (
+        MIN_SPEEDUP_64,
+        run_netsim_bench,
+        save_bench,
+        validate_bench,
+    )
+
+    min_speedup = args.min_speedup if args.min_speedup is not None else MIN_SPEEDUP_64
+    if args.check:
+        from pathlib import Path
+
+        data = json.loads(Path(args.check).read_text())
+        problems = validate_bench(data, min_speedup=min_speedup)
+        if problems:
+            for p in problems:
+                print(f"FAIL: {p}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: schema ok, identical everywhere, "
+              f"64-worker speedup >= {min_speedup:.2f}")
+        return 0
+
+    data = run_netsim_bench(
+        quick=args.quick, repeats=args.repeats, progress=print
+    )
+    save_bench(data, args.out)
+    print(f"wrote {args.out}")
+    for n, entry in sorted(data["sweep"].items(), key=lambda kv: int(kv[0])):
+        print(f"  {n:>3} workers  legacy {entry['legacy_s'] * 1e3:7.1f}ms  "
+              f"fast {entry['fast_s'] * 1e3:7.1f}ms  "
+              f"{entry['speedup']:5.2f}x  identical={entry['identical']}")
+    e2e = data["end_to_end"]
+    print(f"  end-to-end OSP ({e2e['card']}, {e2e['workers']}w): "
+          f"{e2e['speedup']:.2f}x, identical={e2e['identical']}")
+    problems = validate_bench(data, min_speedup=min_speedup)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_ckpt(args) -> int:
     from repro.ckpt import CheckpointError, describe, load_checkpoint
 
@@ -326,7 +368,12 @@ def cmd_ckpt(args) -> int:
 def cmd_check(args) -> int:
     import tempfile
 
-    from repro.check import replay_flat_arena, replay_resume, run_checked
+    from repro.check import (
+        replay_fairshare,
+        replay_flat_arena,
+        replay_resume,
+        run_checked,
+    )
 
     trainer = _build_trainer(args, args.sync)
     trainer.enable_tracing()
@@ -364,7 +411,7 @@ def cmd_check(args) -> int:
                 **trainer_kwargs,
             )
 
-        replays = [replay_flat_arena(make_trainer)]
+        replays = [replay_flat_arena(make_trainer), replay_fairshare(make_trainer)]
         with tempfile.TemporaryDirectory(prefix="repro-check-") as tmpdir:
             replays.append(replay_resume(make_trainer, tmpdir))
         payload["replays"] = [r.to_dict() for r in replays]
@@ -576,6 +623,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="regression threshold for --check",
     )
     p_perf.set_defaults(fn=cmd_perf)
+
+    p_pnet = sub.add_parser(
+        "perf-net",
+        help="netsim scaling benchmark -> BENCH_netsim.json (or --check one)",
+    )
+    p_pnet.add_argument(
+        "--out", default="BENCH_netsim.json", help="output JSON path"
+    )
+    p_pnet.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: stop the sweep at 64 workers, fewer iterations",
+    )
+    p_pnet.add_argument(
+        "--repeats", type=int, default=None,
+        help="best-of-N timing repeats per sweep point (default 2, quick 1)",
+    )
+    p_pnet.add_argument(
+        "--check", metavar="FILE", default=None,
+        help="validate an existing BENCH_netsim.json instead of running",
+    )
+    p_pnet.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="64-worker regression threshold (default: the guarded 5.0)",
+    )
+    p_pnet.set_defaults(fn=cmd_perf_net)
     return parser
 
 

@@ -140,6 +140,8 @@ class DistributedTrainer:
         self.network = Network(self.env, topo)
         self.ps = engine.make_ps(plan)
         self.recorder = Recorder()
+        # Mirror netsim.* scheduler counters into the run's counter table.
+        self.network.recorder = self.recorder
         self.ctx = TrainerContext(
             env=self.env,
             network=self.network,

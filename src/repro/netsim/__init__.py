@@ -20,7 +20,12 @@ event that succeeds when the flow completes.
 
 from repro.netsim.links import Link, LinkSpec
 from repro.netsim.topology import GraphTopology, StarTopology, SWITCH, make_multirack_topology
-from repro.netsim.fairshare import max_min_fair_rates
+from repro.netsim.fairshare import (
+    fair_rates,
+    fairshare_mode,
+    fast_fair_rates,
+    max_min_fair_rates,
+)
 from repro.netsim.flows import Flow, FlowRecord
 from repro.netsim.network import Network
 
@@ -32,6 +37,9 @@ __all__ = [
     "LinkSpec",
     "Network",
     "StarTopology",
+    "fair_rates",
+    "fairshare_mode",
+    "fast_fair_rates",
     "SWITCH",
     "make_multirack_topology",
     "max_min_fair_rates",

@@ -28,6 +28,9 @@ class Flow:
     tag: Any = None
     start_time: float = 0.0
     rate: float = 0.0
+    #: Interned link-name tuple for the route, cached per (src, dst) by the
+    #: Network so the fair-share solver never rebuilds name lists per call.
+    names: tuple[str, ...] = ()
 
     def __hash__(self) -> int:
         return self.fid

@@ -6,13 +6,48 @@ max–min fair rates, and (3) schedules a wake-up at the earliest projected
 completion. Wake-ups are versioned so a superseded timer is ignored rather
 than cancelled (the kernel has no cancellation primitive — versioning is
 cheaper and deterministic).
+
+Scaling machinery (default; ``REPRO_FAIRSHARE=legacy`` disables all of it
+and restores the one-recompute-per-event reference path):
+
+* **Coalesced rerates** — flow starts batch same-instant work into a single
+  fair-share recompute via :meth:`Environment.defer` instead of re-solving
+  once per ``transfer()``. Virtual-time outcomes are unchanged: no bytes
+  move within an instant, intermediate allocations are unobservable, and
+  the coalesced solve sees exactly the flow set the last per-event solve
+  would have seen.
+* **Decoupled-delta skipping** — when every flow added/removed since the
+  last solve rides links carrying no *other* flow, the surviving rates are
+  provably unchanged and a new flow's rate is exactly the min capacity on
+  its route, so the solver is skipped outright (``netsim.rerate_skipped``).
+* **Vectorized drain** — ``remaining``/``rate`` live in parallel numpy
+  arrays keyed by a stable per-flow slot; per-link ``bytes_carried`` is
+  accumulated with ``np.bincount``. Per-flow remaining values are
+  bit-identical to the scalar loop (elementwise IEEE ops, no
+  reassociation); per-link byte totals may differ from the scalar loop
+  only in float summation order, which every consumer (utilization
+  reports, conservation monitor) already reads with a tolerance.
+* **Route caching** — interned ``(route, link-name tuple)`` per (src, dst),
+  so the solver never rebuilds name lists and topologies are only asked to
+  route each pair once. Topologies are static by contract (fault windows
+  change link *attributes*, never the link set or routes).
+
+``stats`` tracks the ``netsim.*`` counters registered in
+:mod:`repro.obs.registry`; when a :class:`~repro.metrics.recorder.Recorder`
+is attached (the trainer does) they are mirrored there for summaries and
+checkpoints. Replay streams exclude the ``netsim.`` namespace: the two
+solver modes intentionally differ in how *often* they recompute, not in
+what they compute.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Iterable, Optional
 
-from repro.netsim.fairshare import max_min_fair_rates
+import numpy as np
+
+from repro.netsim.fairshare import fairshare_mode, fast_fair_rates, max_min_fair_rates
 from repro.netsim.flows import Flow, FlowRecord
 from repro.netsim.links import Link
 from repro.netsim.topology import StarTopology
@@ -38,19 +73,79 @@ class Network:
         If True (default), completed transfers are appended to
         :attr:`records` for post-hoc analysis (BST breakdowns, Fig. 1/2
         timelines).
+    max_records:
+        Optional cap on :attr:`records`. When set, the newest
+        ``max_records`` records are kept (keep-latest ring) and each drop
+        increments the ``netsim.records_dropped`` counter — long
+        elastic/fault runs with records enabled stay memory-bounded.
     """
 
-    def __init__(self, env: Environment, topology: StarTopology, keep_records: bool = True) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        topology: StarTopology,
+        keep_records: bool = True,
+        max_records: Optional[int] = None,
+    ) -> None:
         self.env = env
         self.topology = topology
         self.keep_records = keep_records
-        self.records: list[FlowRecord] = []
+        self.max_records = max_records
+        if keep_records and max_records is not None:
+            self.records = deque(maxlen=max_records)
+        else:
+            self.records: list[FlowRecord] = []
+        #: Optional Recorder mirror for the ``netsim.*`` counters in
+        #: :attr:`stats` (the trainer attaches its recorder).
+        self.recorder = None
+        #: Scheduler work counters (see repro.obs.registry COUNTERS).
+        self.stats: dict[str, int] = {
+            "netsim.rerates": 0,
+            "netsim.rerate_skipped": 0,
+            "netsim.fairshare_calls": 0,
+            "netsim.records_dropped": 0,
+        }
         self._active: dict[int, Flow] = {}
         self._next_fid = 0
         self._last_update = env.now
         self._timer_version = 0
         self._capacities = {l.name: l.bandwidth for l in topology.links}
         self._links_by_name = {l.name: l for l in topology.links}
+
+        self._fast = fairshare_mode() == "fast"
+        self._route_cache: dict[tuple, tuple[tuple[Link, ...], tuple[str, ...]]] = {}
+        #: active-flow count per link name (decoupling detector).
+        self._link_load: dict[str, int] = {}
+        #: True while a coalesced rerate is armed for the current instant.
+        self._pending = False
+        #: fids added since the last rate assignment.
+        self._pending_new: list[int] = []
+        #: True while every active flow's rate matches a full solve over the
+        #: current flow set and capacities (trivially true when empty).
+        self._rated = True
+        #: set when a non-decoupled add/remove or a capacity change forces
+        #: the next rerate through the solver.
+        self._solver_dirty = False
+        #: Persistent fid -> route-name-tuple map for the fast solver. fids
+        #: are handed out in increasing order and never reused, so dict
+        #: insertion order *is* sorted-fid order — the exact map the legacy
+        #: path rebuilds (and sorts) from scratch on every solve.
+        self._solver_routes: dict[int, tuple[str, ...]] = {}
+
+        # -- vectorized drain plane (fast mode, 2-link routes only) --------
+        self._links_seq: list[Link] = list(topology.links)
+        self._n_links = len(self._links_seq)
+        self._link_index = {l.name: i for i, l in enumerate(self._links_seq)}
+        self._vector_ok = True
+        self._slot_of: dict[int, int] = {}
+        self._slot_flow: list[Optional[Flow]] = []
+        self._free_slots: list[int] = []
+        self._arr_remaining = np.zeros(0)
+        self._arr_rate = np.zeros(0)
+        self._arr_links = np.zeros((0, 2), dtype=np.intp)
+        self._act_dirty = True
+        self._act_list: list[int] = []
+        self._act_arr = np.zeros(0, dtype=np.intp)
 
     # ------------------------------------------------------------------ API
     @property
@@ -68,9 +163,20 @@ class Network:
         """
         if size < 0:
             raise ValueError(f"negative transfer size {size}")
-        route = tuple(self.topology.route(src, dst))
-        latency = self.topology.route_latency(src, dst)
-        loss = self.topology.route_loss(src, dst)
+        cached = self._route_cache.get((src, dst))
+        if cached is None:
+            route = tuple(self.topology.route(src, dst))
+            cached = (route, tuple(l.name for l in route))
+            self._route_cache[(src, dst)] = cached
+        route, names = cached
+        # Latency/loss are *live* reads (fault windows move them); computed
+        # over the cached route with the same folds the topologies use.
+        latency = 0.0
+        keep = 1.0
+        for link in route:
+            latency += link.spec.latency
+            keep *= 1.0 - link.loss_rate
+        loss = 1.0 - keep
         done = Event(self.env)
         fid = self._next_fid
         self._next_fid += 1
@@ -86,6 +192,7 @@ class Network:
             done=done,
             tag=tag,
             start_time=self.env.now,
+            names=names,
         )
 
         if not route or flow.remaining <= _BYTE_EPS:
@@ -94,12 +201,15 @@ class Network:
             return done
 
         self._drain()
-        self._active[fid] = flow
+        self._register(flow)
         tr = self.env.tracer
         if tr:
             tr.gauge_delta("obs.net.inflight_bytes", flow.size)
             tr.gauge_delta("obs.net.active_flows", 1)
-        self._rerate()
+        if self._fast:
+            self._schedule_rerate()
+        else:
+            self._rerate()
         return done
 
     def transfer_process(self, src, dst, size: float, tag: Any = None):
@@ -138,52 +248,217 @@ class Network:
         """
         self._drain()
         self._capacities = {l.name: l.bandwidth for l in self.topology.links}
+        self._solver_dirty = True  # cached allocations assume old capacities
         self._rerate()
 
     # ------------------------------------------------------------ internals
+    def _count(self, name: str, n: int = 1) -> None:
+        self.stats[name] += n
+        if self.recorder is not None:
+            self.recorder.incr(name, n)
+
+    def _register(self, flow: Flow) -> None:
+        """Add a flow to the active set and every bookkeeping plane."""
+        self._active[flow.fid] = flow
+        self._pending_new.append(flow.fid)
+        self._solver_routes[flow.fid] = flow.names
+        load = self._link_load
+        for name in set(flow.names):
+            n = load.get(name, 0)
+            load[name] = n + 1
+            if n > 0:
+                self._solver_dirty = True  # couples with an existing flow
+        if self._fast:
+            slot = self._alloc_slot(flow)
+            self._arr_remaining[slot] = flow.remaining
+            self._arr_rate[slot] = 0.0
+            if self._vector_ok:
+                if len(flow.names) == 2:
+                    self._arr_links[slot, 0] = self._link_index[flow.names[0]]
+                    self._arr_links[slot, 1] = self._link_index[flow.names[1]]
+                else:
+                    self._vector_ok = False
+            self._act_dirty = True
+
+    def _retire(self, flow: Flow, tr) -> None:
+        """Remove a finished flow from every bookkeeping plane."""
+        del self._active[flow.fid]
+        del self._solver_routes[flow.fid]
+        if tr:
+            tr.gauge_delta("obs.net.inflight_bytes", -flow.size)
+            tr.gauge_delta("obs.net.active_flows", -1)
+        load = self._link_load
+        for name in set(flow.names):
+            n = load[name] - 1
+            load[name] = n
+            if n > 0:
+                self._solver_dirty = True  # survivors on this link speed up
+        slot = self._slot_of.pop(flow.fid, None)
+        if slot is not None:
+            self._slot_flow[slot] = None
+            self._free_slots.append(slot)
+            self._act_dirty = True
+        self._finish(flow)
+
+    def _alloc_slot(self, flow: Flow) -> int:
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._slot_flow[slot] = flow
+        else:
+            slot = len(self._slot_flow)
+            self._slot_flow.append(flow)
+            if slot >= self._arr_remaining.size:
+                new_cap = max(64, 2 * self._arr_remaining.size)
+                for attr in ("_arr_remaining", "_arr_rate"):
+                    old = getattr(self, attr)
+                    grown = np.zeros(new_cap)
+                    grown[: old.size] = old
+                    setattr(self, attr, grown)
+                old_links = self._arr_links
+                grown_links = np.zeros((new_cap, 2), dtype=np.intp)
+                grown_links[: old_links.shape[0]] = old_links
+                self._arr_links = grown_links
+        self._slot_of[flow.fid] = slot
+        return slot
+
+    def _act_slots(self) -> np.ndarray:
+        """Slot indices of active flows (insertion order), cached."""
+        if self._act_dirty:
+            self._act_list = [self._slot_of[fid] for fid in self._active]
+            self._act_arr = np.array(self._act_list, dtype=np.intp)
+            self._act_dirty = False
+        return self._act_arr
+
     def _drain(self) -> None:
         """Advance all active flows to the current instant."""
         now = self.env.now
         dt = now - self._last_update
-        if dt > 0:
-            for flow in self._active.values():
-                moved = flow.rate * dt
-                if moved > 0:
-                    flow.remaining = max(0.0, flow.remaining - moved)
-                    for link in flow.route:
-                        link.bytes_carried += moved
         self._last_update = now
+        if dt <= 0 or not self._active:
+            return
+        if self._fast and self._vector_ok:
+            act = self._act_slots()
+            rem = self._arr_remaining[act]
+            moved = self._arr_rate[act] * dt
+            # Elementwise, so bit-identical to the scalar loop per flow.
+            new_rem = np.where(moved > 0.0, np.maximum(0.0, rem - moved), rem)
+            self._arr_remaining[act] = new_rem
+            per_link = np.bincount(
+                self._arr_links[act].ravel(),
+                weights=np.repeat(moved, 2),
+                minlength=self._n_links,
+            )
+            links = self._links_seq
+            for idx in np.flatnonzero(per_link):
+                links[idx].bytes_carried += per_link[idx]
+            slot_flow = self._slot_flow
+            for i, slot in enumerate(self._act_list):
+                slot_flow[slot].remaining = new_rem[i]
+            return
+        for flow in self._active.values():
+            moved = flow.rate * dt
+            if moved > 0:
+                flow.remaining = max(0.0, flow.remaining - moved)
+                for link in flow.route:
+                    link.bytes_carried += moved
+
+    def _schedule_rerate(self) -> None:
+        """Arm (at most) one coalesced rerate for the current instant."""
+        if self._pending:
+            return
+        self._pending = True
+        self.env.defer(self._on_deferred_rerate)
+
+    def _on_deferred_rerate(self) -> None:
+        if not self._pending:
+            return  # an immediate rerate (timer/fault refresh) covered it
+        self._drain()
+        self._rerate()
+
+    def _set_rate(self, flow: Flow, rate: float) -> None:
+        flow.rate = rate
+        if self._fast:
+            self._arr_rate[self._slot_of[flow.fid]] = rate
+
+    def _zero_remaining(self, flow: Flow) -> None:
+        flow.remaining = 0.0
+        if self._fast:
+            slot = self._slot_of.get(flow.fid)
+            if slot is not None:
+                self._arr_remaining[slot] = 0.0
 
     def _rerate(self) -> None:
         """Recompute fair rates, complete drained flows, arm the next timer."""
         now = self.env.now
+        self._pending = False
+        self._count("netsim.rerates")
+        tr = self.env.tracer
         while True:
             # Complete flows that have fully drained.
             finished = [
                 f for f in self._active.values() if f.remaining <= _BYTE_EPS
             ]
-            tr = self.env.tracer
             for flow in finished:
-                del self._active[flow.fid]
-                if tr:
-                    tr.gauge_delta("obs.net.inflight_bytes", -flow.size)
-                    tr.gauge_delta("obs.net.active_flows", -1)
-                self._finish(flow)
+                self._retire(flow, tr)
 
             self._timer_version += 1
             if not self._active:
+                self._pending_new.clear()
                 return
 
-            routes = {
-                fid: [l.name for l in f.route]
-                for fid, f in sorted(self._active.items())
-            }
-            rates = max_min_fair_rates(routes, self._capacities)
-            horizon = float("inf")
-            for fid, flow in self._active.items():
-                flow.rate = rates[fid]
-                if flow.rate > 0:
-                    horizon = min(horizon, flow.remaining / flow.rate)
+            if self._fast and self._rated and not self._solver_dirty:
+                # Every change since the last solve is decoupled: survivors
+                # keep their rates; each new flow is alone on its links, so
+                # its fair share is exactly its route's min capacity.
+                for fid in self._pending_new:
+                    flow = self._active.get(fid)
+                    if flow is not None:
+                        self._set_rate(
+                            flow,
+                            min(self._capacities[n] for n in set(flow.names)),
+                        )
+                self._count("netsim.rerate_skipped")
+            elif self._fast:
+                rates = fast_fair_rates(
+                    self._solver_routes, self._capacities, validate=False
+                )
+                self._count("netsim.fairshare_calls")
+                arr_rate = self._arr_rate
+                slot_of = self._slot_of
+                for fid, flow in self._active.items():
+                    rate = rates[fid]
+                    flow.rate = rate
+                    arr_rate[slot_of[fid]] = rate
+                self._solver_dirty = False
+                self._rated = True
+            else:
+                routes = {
+                    fid: [l.name for l in f.route]
+                    for fid, f in sorted(self._active.items())
+                }
+                rates = max_min_fair_rates(routes, self._capacities)
+                self._count("netsim.fairshare_calls")
+                for fid, flow in self._active.items():
+                    self._set_rate(flow, rates[fid])
+                self._solver_dirty = False
+                self._rated = True
+            self._pending_new.clear()
+
+            if self._fast and self._vector_ok:
+                act = self._act_slots()
+                rate_a = self._arr_rate[act]
+                rem_a = self._arr_remaining[act]
+                pos = rate_a > 0.0
+                horizon = (
+                    float(np.min(rem_a[pos] / rate_a[pos]))
+                    if pos.any()
+                    else float("inf")
+                )
+            else:
+                horizon = float("inf")
+                for flow in self._active.values():
+                    if flow.rate > 0:
+                        horizon = min(horizon, flow.remaining / flow.rate)
             if horizon == float("inf"):  # pragma: no cover - defensive
                 raise RuntimeError("active flows but no positive rate")
 
@@ -195,7 +470,7 @@ class Network:
             # at the same instant forever. Zero those flows and loop.
             for flow in self._active.values():
                 if flow.rate > 0 and now + flow.remaining / flow.rate <= now:
-                    flow.remaining = 0.0
+                    self._zero_remaining(flow)
 
         version = self._timer_version
         timer = self.env.timeout(horizon)
@@ -219,6 +494,11 @@ class Network:
             end_time=self.env.now + flow.latency,
         )
         if self.keep_records:
+            if (
+                self.max_records is not None
+                and len(self.records) >= self.max_records
+            ):
+                self._count("netsim.records_dropped")
             self.records.append(record)
         if flow.latency > 0:
             timer = self.env.timeout(flow.latency)

@@ -51,6 +51,11 @@ COUNTERS: frozenset[str] = frozenset(
         # runtime invariant checker (repro.check)
         "check.violation",
         "check.events_checked",
+        # network scheduler work counters (repro.netsim.network)
+        "netsim.rerates",
+        "netsim.rerate_skipped",
+        "netsim.fairshare_calls",
+        "netsim.records_dropped",
     }
 )
 

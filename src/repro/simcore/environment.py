@@ -75,6 +75,25 @@ class Environment:
 
         return AnyOf(self, events)
 
+    def defer(self, fn, priority: int = NORMAL) -> Event:
+        """Same-instant batching hook: run ``fn()`` later *this* instant.
+
+        Schedules an already-succeeded event at the current time, so ``fn``
+        executes after every event already queued for ``now`` (at the same
+        priority) but before the clock advances. Subsystems use this to
+        coalesce work triggered by several same-instant events into one
+        pass — e.g. the network re-rates once per instant instead of once
+        per flow start. The callback must not assume any ordering relative
+        to other events at the same instant beyond "after those queued
+        before it".
+        """
+        ev = Event(self)
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda _ev: fn())
+        self.schedule(ev, 0.0, priority)
+        return ev
+
     # -- scheduling ----------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Queue a triggered event for processing at ``now + delay``."""

@@ -1,0 +1,79 @@
+"""Checked OSP runs under both ``REPRO_FAIRSHARE`` settings.
+
+The fast network core must be invisible to every correctness surface the
+checker watches: the ByteConservation and ICSInflight monitors stay green
+in both modes (including across an injected bandwidth-dip fault window,
+which drives ``refresh_capacities`` through the fast path), and the
+``replay_fairshare`` differential — the same diff ``repro check`` runs —
+finds zero stream divergence between the modes.
+"""
+
+import pytest
+
+from repro.check import replay_fairshare, run_checked
+from repro.core.osp import OSP
+from repro.faults import BandwidthDip, FaultSchedule
+from repro.harness.workloads import (
+    WorkloadConfig,
+    make_numeric_dataset,
+    numeric_trainer,
+    timing_trainer,
+)
+
+
+def _cfg(**kw):
+    defaults = dict(
+        card_name="vgg16-cifar10",
+        n_workers=4,
+        n_epochs=3,
+        iterations_per_epoch=6,
+        sigma=0.1,
+        seed=7,
+    )
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+@pytest.mark.parametrize("mode", ["fast", "legacy"])
+def test_monitors_green_on_faulted_osp_run(mode, monkeypatch):
+    monkeypatch.setenv("REPRO_FAIRSHARE", mode)
+    faults = FaultSchedule(
+        [BandwidthDip(start=5.0, duration=20.0, factor=0.4, nodes=(1,))]
+    )
+    trainer = timing_trainer(_cfg(faults=faults), OSP())
+    trainer.enable_tracing()
+    _result, report = run_checked(trainer)
+    assert report.ok, report.render()
+    for name in ("net.conservation", "osp.ics_inflight"):
+        checks, violations = report.monitors[name]
+        assert checks > 0, name
+        assert violations == 0, name
+    # The dip must actually have hit the network for this to be meaningful.
+    assert trainer.recorder.counter("faults.bandwidth_dip") > 0
+    assert trainer.network.stats["netsim.rerates"] > 0
+
+
+def test_replay_fairshare_streams_identical():
+    cfg = _cfg(n_epochs=2, iterations_per_epoch=4)
+    data = make_numeric_dataset(cfg.card, n_samples=240, seed=cfg.seed)
+
+    def build():
+        return numeric_trainer(cfg, OSP(), data=data)
+
+    report = replay_fairshare(build)
+    assert report.identical, report.render()
+    assert min(report.n_events) > 0
+
+
+def test_replay_fairshare_on_timing_run_with_faults():
+    faults = FaultSchedule(
+        [BandwidthDip(start=5.0, duration=15.0, factor=0.5, nodes=(0, 2))]
+    )
+    cfg = _cfg(faults=faults)
+
+    def build():
+        return timing_trainer(cfg, OSP())
+
+    report = replay_fairshare(build)
+    assert report.identical, report.render()
+    assert min(report.n_events) > 0

@@ -1,0 +1,202 @@
+"""Behavioral tests for the scaled network core.
+
+Covers the machinery the fast path adds around the solver: rerate
+coalescing, decoupled-delta solver skipping, the bounded records ring,
+the recorder counter mirror, and capacity refreshes across fault windows
+— always with the legacy path as the semantic reference.
+"""
+
+import pytest
+
+from repro.netsim.links import LinkSpec
+from repro.netsim.network import Network
+from repro.netsim.topology import StarTopology
+from repro.simcore.environment import Environment
+
+
+def _star(n=4, bandwidth=100.0, latency=0.0):
+    return StarTopology(
+        n, default_spec=LinkSpec(bandwidth=bandwidth, latency=latency)
+    )
+
+
+def _records_key(net):
+    return [
+        (r.fid, r.src, r.dst, r.size, r.tag, r.start_time, r.end_time)
+        for r in net.records
+    ]
+
+
+def _burst_run(n_flows=6):
+    """All flows to one destination, started in a single instant."""
+    env = Environment()
+    net = Network(env, _star(n=8))
+    for src in range(1, n_flows + 1):
+        net.transfer(src, 0, 50.0 * src, tag=src)
+    env.run()
+    return net, env
+
+
+def test_same_instant_burst_coalesces_to_one_rerate(monkeypatch):
+    monkeypatch.delenv("REPRO_FAIRSHARE", raising=False)
+    net, _env_ = _burst_run()
+    # 1 coalesced rerate for the 6 same-instant starts, then one per
+    # (distinct) completion horizon — instead of one per transfer() call.
+    assert net.stats["netsim.rerates"] == 7
+
+
+def test_burst_records_identical_across_modes(monkeypatch):
+    monkeypatch.setenv("REPRO_FAIRSHARE", "legacy")
+    legacy_net, legacy_env = _burst_run()
+    assert legacy_net.stats["netsim.rerates"] >= 6  # one per transfer()
+    monkeypatch.delenv("REPRO_FAIRSHARE", raising=False)
+    fast_net, fast_env = _burst_run()
+    assert _records_key(fast_net) == _records_key(legacy_net)
+    assert repr(fast_env.now) == repr(legacy_env.now)
+    assert fast_net.stats["netsim.rerates"] < legacy_net.stats["netsim.rerates"]
+
+
+def test_decoupled_flows_skip_the_solver(monkeypatch):
+    monkeypatch.delenv("REPRO_FAIRSHARE", raising=False)
+    env = Environment()
+    net = Network(env, _star(n=6, bandwidth=80.0))
+    # Disjoint (src, dst) pairs: no shared links, every start/finish is
+    # decoupled, so no rerate ever needs the solver.
+    net.transfer(0, 1, 100.0)
+    env.run()
+    net.transfer(2, 3, 100.0)
+    net.transfer(4, 5, 100.0)
+    env.run()
+    assert net.stats["netsim.rerate_skipped"] > 0
+    assert net.stats["netsim.fairshare_calls"] == 0
+    # Each lone flow got exactly its route's bottleneck capacity.
+    for rec in net.records:
+        assert rec.duration == pytest.approx(100.0 / 80.0)
+
+
+def test_coupled_flows_fall_back_to_solver(monkeypatch):
+    monkeypatch.delenv("REPRO_FAIRSHARE", raising=False)
+    env = Environment()
+    net = Network(env, _star(n=4))
+    net.transfer(1, 0, 100.0)
+    net.transfer(2, 0, 100.0)  # shares link down:0 -> solver required
+    env.run()
+    assert net.stats["netsim.fairshare_calls"] > 0
+
+
+def test_legacy_mode_always_solves(monkeypatch):
+    monkeypatch.setenv("REPRO_FAIRSHARE", "legacy")
+    env = Environment()
+    net = Network(env, _star(n=6))
+    net.transfer(0, 1, 100.0)
+    env.run()
+    net.transfer(2, 3, 100.0)
+    env.run()
+    assert net.stats["netsim.rerate_skipped"] == 0
+    assert net.stats["netsim.fairshare_calls"] > 0
+
+
+def test_max_records_keeps_latest_and_counts_drops():
+    env = Environment()
+    net = Network(env, _star(), max_records=3)
+    for i in range(8):
+        net.transfer(1, 0, 10.0, tag=i)
+        env.run()
+    assert len(net.records) == 3
+    assert [r.tag for r in net.records] == [5, 6, 7]  # keep-latest ring
+    assert net.stats["netsim.records_dropped"] == 5
+
+
+def test_max_records_unset_keeps_everything():
+    env = Environment()
+    net = Network(env, _star())
+    for i in range(5):
+        net.transfer(1, 0, 10.0, tag=i)
+    env.run()
+    assert len(net.records) == 5
+    assert net.stats["netsim.records_dropped"] == 0
+
+
+def test_recorder_mirror_receives_netsim_counters():
+    class FakeRecorder:
+        def __init__(self):
+            self.counts = {}
+
+        def incr(self, name, n=1):
+            self.counts[name] = self.counts.get(name, 0) + n
+
+    env = Environment()
+    net = Network(env, _star())
+    rec = FakeRecorder()
+    net.recorder = rec
+    net.transfer(1, 0, 100.0)
+    net.transfer(2, 0, 100.0)
+    env.run()
+    assert rec.counts["netsim.rerates"] == net.stats["netsim.rerates"]
+    assert (
+        rec.counts.get("netsim.fairshare_calls", 0)
+        == net.stats["netsim.fairshare_calls"]
+    )
+
+
+def _fault_window_run():
+    """Bandwidth dips mid-flow on the shared downlink, then recovers."""
+    env = Environment()
+    topo = _star(n=4, bandwidth=100.0)
+    net = Network(env, topo)
+    dipped = [l for l in topo.links if l.name == "down:0"]
+
+    def faults():
+        yield env.timeout(1.0)
+        for link in dipped:
+            link.apply_fault(bandwidth_factor=0.25)
+        net.refresh_capacities()
+        yield env.timeout(2.0)
+        for link in dipped:
+            link.clear_fault(bandwidth_factor=0.25)
+        net.refresh_capacities()
+
+    env.process(faults())
+    net.transfer(1, 0, 300.0, tag="a")
+    net.transfer(2, 0, 300.0, tag="b")
+    env.run()
+    return net, env
+
+
+def test_refresh_capacities_mid_flow_identical_across_modes(monkeypatch):
+    monkeypatch.setenv("REPRO_FAIRSHARE", "legacy")
+    legacy_net, legacy_env = _fault_window_run()
+    monkeypatch.delenv("REPRO_FAIRSHARE", raising=False)
+    fast_net, fast_env = _fault_window_run()
+    assert _records_key(fast_net) == _records_key(legacy_net)
+    assert repr(fast_env.now) == repr(legacy_env.now)
+    # The dip stretched the transfers: 600 bytes through a link that spends
+    # 2s at 25 B/s cannot finish at the no-fault time of 6.0s.
+    assert fast_env.now > 6.0
+
+
+def test_refresh_capacities_forces_solver_under_fast(monkeypatch):
+    monkeypatch.delenv("REPRO_FAIRSHARE", raising=False)
+    net, _env_ = _fault_window_run()
+    # Both refresh calls must re-solve (capacities changed), on top of the
+    # start/finish solves for the coupled pair.
+    assert net.stats["netsim.fairshare_calls"] >= 2
+
+
+def test_route_cache_does_not_stale_latency_or_loss(monkeypatch):
+    """Loss/latency are fault-dependent; only the route itself is cached."""
+    monkeypatch.delenv("REPRO_FAIRSHARE", raising=False)
+    env = Environment()
+    topo = _star(n=3, bandwidth=100.0)
+    net = Network(env, topo)
+    net.transfer(1, 0, 100.0, tag="before")
+    env.run()
+    for link in topo.links:
+        if link.name == "down:0":
+            link.apply_fault(extra_loss=0.5)
+    net.transfer(1, 0, 100.0, tag="after")
+    env.run()
+    before = next(r for r in net.records if r.tag == "before")
+    after = next(r for r in net.records if r.tag == "after")
+    # Loss inflation: same payload takes 1.5x the bytes after the fault.
+    assert after.duration == pytest.approx(1.5 * before.duration)

@@ -103,7 +103,15 @@ def test_every_track_literal_is_registered():
 def test_registry_namespaces_are_well_formed():
     for name in ALL_NAMES:
         prefix = name.split(".", 1)[0]
-        assert prefix in {"osp", "faults", "obs", "ckpt", "elastic", "check"}, name
+        assert prefix in {
+            "osp",
+            "faults",
+            "obs",
+            "ckpt",
+            "elastic",
+            "check",
+            "netsim",
+        }, name
     for name in TRACKS:
         prefix = name.split(".", 1)[0]
         assert prefix in {"timeseries", "osp"}, name

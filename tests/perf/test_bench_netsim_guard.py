@@ -1,0 +1,81 @@
+"""Tier-1 guard over the committed netsim scaling baseline.
+
+Fails when ``BENCH_netsim.json`` is missing, missing a schema field,
+records a sweep point that is not virtual-time identical across the legacy
+and fast network-core paths, or shows the 64-worker host-time speedup
+below the guarded minimum — i.e. when the scaled network core has either
+regressed in speed or (worse) stopped being bit-identical to the
+reference path.
+
+The host-time bound is deliberately loose (a ratio of two runs on the
+same host, not an absolute time), the same style as ``test_bench_guard``.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+from repro.perf.netsim_scale import (
+    BENCH_SCHEMA,
+    GUARDED_SPEEDUPS,
+    MIN_SPEEDUP_64,
+    REQUIRED_FIELDS,
+    validate_bench,
+)
+from repro.perf.hotpath import get_path
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_netsim.json"
+
+
+def _load():
+    assert BENCH_PATH.exists(), (
+        f"{BENCH_PATH} missing — regenerate with `make bench-net` "
+        "(or `python -m repro perf-net`)"
+    )
+    return json.loads(BENCH_PATH.read_text())
+
+
+def test_committed_bench_has_all_schema_fields():
+    data = _load()
+    assert data["schema"] == BENCH_SCHEMA
+    for field in REQUIRED_FIELDS:
+        get_path(data, field)  # KeyError -> test failure names the field
+
+
+def test_committed_bench_valid_and_64_worker_speedup_holds():
+    problems = validate_bench(_load(), min_speedup=MIN_SPEEDUP_64)
+    assert problems == []
+
+
+def test_committed_bench_identity_flags_true():
+    data = _load()
+    for n, entry in data["sweep"].items():
+        assert entry["identical"] is True, f"sweep point {n} not identical"
+    assert data["end_to_end"]["identical"] is True
+
+
+def test_validate_bench_flags_problems():
+    data = _load()
+    broken = copy.deepcopy(data)
+    del broken["sweep"]["64"]["speedup"]
+    assert any("sweep.64.speedup" in p for p in validate_bench(broken))
+
+    slow = copy.deepcopy(data)
+    slow["sweep"]["64"]["speedup"] = 1.01
+    assert any("regression" in p for p in validate_bench(slow))
+
+    diverged = copy.deepcopy(data)
+    diverged["sweep"]["32"]["identical"] = False
+    assert any("parity violation" in p for p in validate_bench(diverged))
+
+    diverged_e2e = copy.deepcopy(data)
+    diverged_e2e["end_to_end"]["identical"] = False
+    assert any(
+        "end_to_end.identical" in p for p in validate_bench(diverged_e2e)
+    )
+
+    wrong = copy.deepcopy(data)
+    wrong["schema"] = "bogus/v0"
+    assert any("schema mismatch" in p for p in validate_bench(wrong))
+
+    assert GUARDED_SPEEDUPS  # the guard list itself must not be empty

@@ -129,7 +129,10 @@ def test_run_json_includes_bst_percentiles_and_comm_share(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["bst_p50"] <= payload["bst_p90"] <= payload["bst_p99"]
     assert 0.0 < payload["communication_share"] < 1.0
-    assert payload["counters"] == {}  # still present for bench readers
+    # A fault-free BSP run records only network-scheduler work counters.
+    assert set(payload["counters"])
+    assert all(k.startswith("netsim.") for k in payload["counters"])
+    assert payload["counters"]["netsim.rerates"] > 0
 
 
 def test_run_trace_then_report(tmp_path, capsys):
