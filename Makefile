@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full perf perf-full bench-net bench-net-full faults ckpt check trace dash compare examples clean
+.PHONY: install test bench bench-full perf perf-full bench-net bench-net-full bench-prio bench-prio-full faults ckpt check trace dash compare examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -33,6 +33,16 @@ bench-net:
 # Regenerate the committed BENCH_netsim.json at full scale (4->128 workers).
 bench-net-full:
 	PYTHONPATH=src python -m repro perf-net --out BENCH_netsim.json
+
+# Priority-scheduling smoke: quick contended-RS run to a scratch file, then
+# validate the committed baseline (inert identity + guarded improvement).
+bench-prio:
+	PYTHONPATH=src python -m repro perf-prio --quick --out /tmp/BENCH_netprio.quick.json
+	PYTHONPATH=src python -m repro perf-prio --check BENCH_netprio.json
+
+# Regenerate the committed BENCH_netprio.json at full scale.
+bench-prio-full:
+	PYTHONPATH=src python -m repro perf-prio --out BENCH_netprio.json
 
 # Fault-injection smoke: the tier-1 fault tests plus the robustness bench.
 faults:

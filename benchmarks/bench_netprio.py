@@ -1,0 +1,53 @@
+"""Perf-regression benchmark — priority-aware communication scheduling.
+
+Runs the ``repro perf-prio`` harness (quick mode by default, the full
+contended sweep with ``REPRO_BENCH_FULL=1``), prints the contended
+RS-stage wait table, and asserts what the tier-1 guard asserts about the
+committed ``BENCH_netprio.json``: the inert default-class path is
+bit-identical across scheduler modes and the RS-stage p90 wait under
+ICS + background contention improves by at least the guarded ratio with
+priorities on.
+"""
+
+from conftest import bench_quick
+
+from repro.metrics.report import format_table
+from repro.perf.netprio import MIN_IMPROVEMENT, run_netprio_bench
+
+
+def _run():
+    return run_netprio_bench(quick=bench_quick())
+
+
+def test_netprio_contended_rs(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    cont = data["contended"]
+    print()
+    rows = [
+        (
+            mode,
+            f"{cont[mode]['rs_stage_p90_s'] * 1e3:.1f}",
+            f"{cont[mode]['rs_stage_p50_s'] * 1e3:.1f}",
+            f"{cont[mode]['rs_push_p90_s'] * 1e3:.1f}",
+            f"{cont[mode]['throughput']:.1f}",
+        )
+        for mode in ("off", "on")
+    ]
+    print(
+        format_table(
+            ["priorities", "RS p90 (ms)", "RS p50 (ms)", "push p90 (ms)",
+             "samples/s"],
+            rows,
+            title="Priority scheduling — contended RS stage (OSP, 2x4 tenants)",
+        )
+    )
+    print(f"improvement: {cont['improvement']:.2f}x  "
+          f"preemptions: {cont['on']['preemptions']}  "
+          f"inert identical: {data['inert']['identical']}")
+    assert data["inert"]["identical"], (
+        "default-class traffic diverged across scheduler modes"
+    )
+    assert cont["improvement"] >= MIN_IMPROVEMENT, (
+        f"RS-stage p90 improvement {cont['improvement']:.2f}x "
+        f"below guarded {MIN_IMPROVEMENT}x"
+    )

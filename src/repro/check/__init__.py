@@ -27,6 +27,7 @@ from repro.check.monitors import (
     Monitor,
     NetworkConservationMonitor,
     PSLedgerMonitor,
+    QuorumConsistencyMonitor,
     StalenessBoundMonitor,
     run_checked,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "Monitor",
     "NetworkConservationMonitor",
     "PSLedgerMonitor",
+    "QuorumConsistencyMonitor",
     "ReplayEvent",
     "ReplayReport",
     "STREAM_SCHEMA",

@@ -119,10 +119,10 @@ class NetworkConservationMonitor(Monitor):
         _wrap(net, "_drain", self._on_drain)
         return True
 
-    def _on_transfer(self, orig, src, dst, size, tag=None):
+    def _on_transfer(self, orig, src, dst, size, tag=None, **flow_kwargs):
         net = self._net
         fid = net._next_fid
-        done = orig(src, dst, size, tag=tag)
+        done = orig(src, dst, size, tag=tag, **flow_kwargs)
         effective = float(size) * (1.0 + net.topology.route_loss(src, dst))
         route = net.topology.route(src, dst)
         if route and effective > _BYTE_EPS:
@@ -371,7 +371,9 @@ class StalenessBoundMonitor(Monitor):
         def wrapped(ctx, worker, iteration):
             yield from orig(ctx, worker, iteration)
             monitor.checks += 1
-            lag = iteration - int(monitor._sync._progress.min())
+            # Alive-only floor, mirroring the bound SSP actually enforces —
+            # a crashed worker's frozen progress is not a legal gate.
+            lag = iteration - monitor._sync._floor(ctx)
             bound = monitor._sync.staleness
             if lag > bound:
                 monitor.fail(
@@ -385,6 +387,113 @@ class StalenessBoundMonitor(Monitor):
 
         sync.before_compute = wrapped
         return True
+
+
+class QuorumConsistencyMonitor(Monitor):
+    """Elastic membership schedule vs live quorum sizes (ROADMAP item).
+
+    Replays the spec's membership and crash/restart schedules into the
+    worker set that *should* be alive when each epoch completes, and at
+    every epoch boundary asserts:
+
+    * the context's live set matches the schedule (crash/leave events
+      dated the *next* epoch may legitimately have fired already — a fast
+      worker reaches its epoch top before stragglers finish the previous
+      epoch — so those are tolerated as early departures);
+    * every :class:`QuorumBarrier` the context handed out is sized
+      ``max(1, |alive|)`` — the resize ``_notify_membership`` promises.
+
+    For OSP it additionally checks, at every RS round close, that the
+    frozen ICS quorum (the deposit count the ICS stage will wait for)
+    never exceeds the live worker count at freeze time.
+    """
+
+    name = "elastic.quorum"
+    cost = "O(workers) per epoch boundary / RS round close"
+
+    def attach(self, checker, trainer) -> bool:
+        spec = trainer.spec
+        crashes = tuple(spec.faults.crash_events) if spec.faults else ()
+        if spec.membership is None and not crashes:
+            return False
+        if trainer.ctx.start_epoch > 0:
+            return False  # resumed run: schedule prefix already consumed
+        self._ctx = trainer.ctx
+        self._spec = spec
+        self._joins = dict(spec.membership.join_epochs) if spec.membership else {}
+        self._leaves = dict(spec.membership.leave_epochs) if spec.membership else {}
+        self._crashes = sorted(crashes, key=lambda ev: ev.before_epoch)
+        trainer.ctx.epoch_end_hooks.append(self._on_epoch_end)
+        sync = trainer.sync_model
+        if isinstance(sync, OSP):
+            self._sync = sync
+            _wrap(sync, "_close_rs_round", self._on_close_rs_round)
+        return True
+
+    def _expected_alive(self, epoch: int) -> set[int]:
+        """Worker set implied by the schedules once ``epoch`` completed."""
+        alive = set(range(self._spec.n_workers)) - set(self._joins)
+        for worker, at in self._joins.items():
+            if at <= epoch:
+                alive.add(worker)
+        for worker, at in self._leaves.items():
+            if at <= epoch:
+                alive.discard(worker)
+        for ev in self._crashes:  # in before_epoch order: crash then revive
+            if ev.before_epoch <= epoch:
+                if ev.restart_epoch is not None and ev.restart_epoch <= epoch:
+                    alive.add(ev.worker)
+                else:
+                    alive.discard(ev.worker)
+        return alive
+
+    def _on_epoch_end(self, epoch: int, train_loss: float, metric: float) -> None:
+        ctx = self._ctx
+        if ctx.stopped:
+            return  # early stop cuts the schedule short: sets legally differ
+        self.checks += 1
+        expected = self._expected_alive(epoch)
+        # Next-epoch crash/leave events may already have fired (see class
+        # docstring); next-epoch joins cannot — admission waits on this
+        # epoch's completion event, which succeeds after these hooks.
+        early = {ev.worker for ev in self._crashes if ev.before_epoch == epoch + 1}
+        early |= {w for w, at in self._leaves.items() if at == epoch + 1}
+        alive = set(ctx._alive)
+        if not (expected - early <= alive <= expected):
+            self.fail(
+                f"epoch {epoch}: live workers {sorted(alive)} do not match "
+                f"membership schedule (expected {sorted(expected)}, "
+                f"tolerating early departure of {sorted(early)})",
+                epoch=epoch,
+                alive=sorted(alive),
+                expected=sorted(expected),
+            )
+        want_parties = max(1, len(alive))
+        for i, barrier in enumerate(ctx._quorum_barriers):
+            if barrier.parties != want_parties:
+                self.fail(
+                    f"epoch {epoch}: quorum barrier #{i} sized "
+                    f"{barrier.parties}, but {len(alive)} workers are alive "
+                    f"(want {want_parties})",
+                    epoch=epoch,
+                    barrier=i,
+                    parties=barrier.parties,
+                    alive=len(alive),
+                )
+
+    def _on_close_rs_round(self, orig, ctx, iteration, bucket):
+        orig(ctx, iteration, bucket)
+        self.checks += 1
+        frozen = self._sync._ics_expected.get(iteration)
+        n_alive = len(ctx._alive)
+        if frozen is not None and frozen > n_alive:
+            self.fail(
+                f"iteration {iteration}: frozen ICS quorum {frozen} exceeds "
+                f"{n_alive} live workers",
+                iteration=iteration,
+                frozen=frozen,
+                alive=n_alive,
+            )
 
 
 class ArenaParityMonitor(Monitor):
@@ -526,6 +635,7 @@ DEFAULT_MONITORS: tuple[type, ...] = (
     PSLedgerMonitor,
     GIBInvariantMonitor,
     StalenessBoundMonitor,
+    QuorumConsistencyMonitor,
     ArenaParityMonitor,
     ICSInflightMonitor,
 )

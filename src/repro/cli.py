@@ -100,6 +100,14 @@ _HEADERS = ["sync", "samples/s", "BST (ms)", "BCT (ms)", "best metric", "virtual
 
 
 def cmd_run(args) -> int:
+    if getattr(args, "net_prio", None):
+        # Network reads REPRO_NETPRIO at construction — set it before the
+        # trainer is built so the flag wins over the inherited environment.
+        import os
+
+        os.environ["REPRO_NETPRIO"] = (
+            "on" if args.net_prio == "on" else "off"
+        )
     trainer = _build_trainer(args, args.sync)
     if getattr(args, "summary", None):
         trainer.enable_sampling()  # implies tracing (phase attribution)
@@ -338,6 +346,49 @@ def cmd_perf_net(args) -> int:
     return 0
 
 
+def cmd_perf_prio(args) -> int:
+    from repro.perf.netprio import (
+        MIN_IMPROVEMENT,
+        run_netprio_bench,
+        save_bench,
+        validate_bench,
+    )
+
+    min_improvement = (
+        args.min_improvement if args.min_improvement is not None else MIN_IMPROVEMENT
+    )
+    if args.check:
+        from pathlib import Path
+
+        data = json.loads(Path(args.check).read_text())
+        problems = validate_bench(data, min_improvement=min_improvement)
+        if problems:
+            for p in problems:
+                print(f"FAIL: {p}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: schema ok, inert path identical, "
+              f"RS-stage p90 improvement >= {min_improvement:.2f}x")
+        return 0
+
+    data = run_netprio_bench(quick=args.quick, progress=print)
+    save_bench(data, args.out)
+    print(f"wrote {args.out}")
+    cont = data["contended"]
+    print(f"  RS-stage p90 wait  off {cont['off']['rs_stage_p90_s'] * 1e3:7.1f}ms  "
+          f"on {cont['on']['rs_stage_p90_s'] * 1e3:7.1f}ms  "
+          f"{cont['improvement']:.2f}x")
+    print(f"  throughput         off {cont['off']['throughput']:7.1f}/s  "
+          f"on {cont['on']['throughput']:7.1f}/s  "
+          f"(preemptions: {cont['on']['preemptions']})")
+    print(f"  inert default-class path identical={data['inert']['identical']}")
+    problems = validate_bench(data, min_improvement=min_improvement)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_ckpt(args) -> int:
     from repro.ckpt import CheckpointError, describe, load_checkpoint
 
@@ -505,6 +556,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample the run and write a run-summary JSON for "
         "`repro report --compare`",
     )
+    p_run.add_argument(
+        "--net-prio", choices=["on", "off"], default=None,
+        help="priority-aware network scheduling (default: on unless "
+        "REPRO_NETPRIO=off; see docs/performance.md)",
+    )
     p_run.set_defaults(fn=cmd_run)
 
     p_rep = sub.add_parser(
@@ -648,6 +704,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="64-worker regression threshold (default: the guarded 5.0)",
     )
     p_pnet.set_defaults(fn=cmd_perf_net)
+
+    p_prio = sub.add_parser(
+        "perf-prio",
+        help="priority-scheduling benchmark -> BENCH_netprio.json "
+        "(or --check one)",
+    )
+    p_prio.add_argument(
+        "--out", default="BENCH_netprio.json", help="output JSON path"
+    )
+    p_prio.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: fewer epochs, smaller inert sweep",
+    )
+    p_prio.add_argument(
+        "--check", metavar="FILE", default=None,
+        help="validate an existing BENCH_netprio.json instead of running",
+    )
+    p_prio.add_argument(
+        "--min-improvement", type=float, default=None,
+        help="RS-stage p90 regression threshold (default: the guarded 1.5)",
+    )
+    p_prio.set_defaults(fn=cmd_perf_prio)
     return parser
 
 

@@ -331,15 +331,25 @@ class TrainerContext:
         return self.plan.lr
 
     # -- communication ----------------------------------------------------------
-    def transfer_to_ps(self, worker: int, nbytes: float, tag=None, ps_index: int = 0) -> Event:
+    def transfer_to_ps(
+        self,
+        worker: int,
+        nbytes: float,
+        tag=None,
+        ps_index: int = 0,
+        **flow_kwargs,
+    ) -> Event:
         """Worker → PS transfer; returns an event that fires once the bytes
         have arrived AND that PS's (serialised, memory-bound) aggregator has
-        ingested them — see ``ClusterSpec.ps_agg_bandwidth``."""
+        ingested them — see ``ClusterSpec.ps_agg_bandwidth``. Extra keyword
+        arguments (``prio``, ``weight``, ``slice_bytes``) pass through to
+        :meth:`repro.netsim.network.Network.transfer`."""
         net_done = self.network.transfer(
             self.spec.worker_node(worker),
             self.spec.ps_nodes[ps_index],
             nbytes,
             tag=tag,
+            **flow_kwargs,
         )
         if self._agg_resources is None or nbytes <= 0:
             return net_done
@@ -359,13 +369,22 @@ class TrainerContext:
             agg.release()
         done.succeed(record)
 
-    def transfer_from_ps(self, worker: int, nbytes: float, tag=None, ps_index: int = 0) -> Event:
-        """PS → worker transfer; returns the completion event."""
+    def transfer_from_ps(
+        self,
+        worker: int,
+        nbytes: float,
+        tag=None,
+        ps_index: int = 0,
+        **flow_kwargs,
+    ) -> Event:
+        """PS → worker transfer; returns the completion event. Extra
+        keyword arguments pass through to ``Network.transfer``."""
         return self.network.transfer(
             self.spec.ps_nodes[ps_index],
             self.spec.worker_node(worker),
             nbytes,
             tag=tag,
+            **flow_kwargs,
         )
 
     def barrier(self) -> Barrier:

@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.gib import GIB
 from repro.core.lgp import EMALGPCorrector, LGPCorrector
 from repro.core.tuning import MAX_MODEL_FRACTION, SGuTuner, ics_upper_bound
+from repro.netsim.prio import PRIO_BULK, PRIO_HIGH, PRIO_URGENT
 from repro.nn.arena import ArenaView
 from repro.sync.base import SyncModel
 
@@ -303,7 +304,9 @@ class OSP(SyncModel):
         span = trace.begin(
             "rs_push", actor, worker=worker, iteration=iteration, bytes=imp_bytes
         )
-        yield ctx.transfer_to_ps(worker, imp_bytes, tag=("rs-push", worker, iteration))
+        yield ctx.transfer_to_ps(
+            worker, imp_bytes, tag=("rs-push", worker, iteration), prio=PRIO_HIGH
+        )
         trace.end(span)
         bucket = f"rs:{iteration}"
         ctx.ps.accumulate(bucket, worker, g_imp)
@@ -320,7 +323,9 @@ class OSP(SyncModel):
         span = trace.begin(
             "rs_pull", actor, worker=worker, iteration=iteration, bytes=imp_bytes
         )
-        yield ctx.transfer_from_ps(worker, imp_bytes, tag=("rs-pull", worker, iteration))
+        yield ctx.transfer_from_ps(
+            worker, imp_bytes, tag=("rs-pull", worker, iteration), prio=PRIO_HIGH
+        )
         trace.end(span)
 
         # (4) LGP Eq. 6.
@@ -404,7 +409,7 @@ class OSP(SyncModel):
         )
         self._ics_unarrived[worker] = unimp_bytes
         push = ctx.transfer_to_ps(
-            worker, unimp_bytes, tag=("ics-push", worker, iteration)
+            worker, unimp_bytes, tag=("ics-push", worker, iteration), prio=PRIO_BULK
         )
         self._ics_push_done[worker] = push
         yield push
@@ -442,7 +447,7 @@ class OSP(SyncModel):
             worker=worker, iteration=iteration, bytes=unimp_bytes,
         )
         yield ctx.transfer_from_ps(
-            worker, unimp_bytes, tag=("ics-pull", worker, iteration)
+            worker, unimp_bytes, tag=("ics-pull", worker, iteration), prio=PRIO_BULK
         )
         trace.end(span)
 
@@ -497,9 +502,13 @@ class OSP(SyncModel):
             wire_bytes=new_gib.wire_bytes(),
             unimportant_layers=len(new_gib.unimportant_layers),
         )
-        # Traffic accounting for the (tiny) bitmap broadcast (§4.1.2).
+        # Traffic accounting for the (tiny) bitmap broadcast (§4.1.2). The
+        # bitmap gates the next split on every worker, so it jumps the queue
+        # ahead of even RS payload traffic.
         for w in range(ctx.spec.n_workers):
-            ctx.transfer_from_ps(w, new_gib.wire_bytes(), tag=("gib", w))
+            ctx.transfer_from_ps(
+                w, new_gib.wire_bytes(), tag=("gib", w), prio=PRIO_URGENT
+            )
 
     def finalize(self, ctx, worker):
         proc = self._ics_proc[worker]

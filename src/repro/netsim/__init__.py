@@ -25,17 +25,32 @@ from repro.netsim.fairshare import (
     fairshare_mode,
     fast_fair_rates,
     max_min_fair_rates,
+    prio_fair_rates,
+    weighted_max_min_fair_rates,
 )
 from repro.netsim.flows import Flow, FlowRecord
 from repro.netsim.network import Network
+from repro.netsim.prio import (
+    CLASS_NAMES,
+    PRIO_BULK,
+    PRIO_HIGH,
+    PRIO_NORMAL,
+    PRIO_URGENT,
+    netprio_enabled,
+)
 
 __all__ = [
+    "CLASS_NAMES",
     "Flow",
     "FlowRecord",
     "GraphTopology",
     "Link",
     "LinkSpec",
     "Network",
+    "PRIO_BULK",
+    "PRIO_HIGH",
+    "PRIO_NORMAL",
+    "PRIO_URGENT",
     "StarTopology",
     "fair_rates",
     "fairshare_mode",
@@ -43,4 +58,7 @@ __all__ = [
     "SWITCH",
     "make_multirack_topology",
     "max_min_fair_rates",
+    "netprio_enabled",
+    "prio_fair_rates",
+    "weighted_max_min_fair_rates",
 ]

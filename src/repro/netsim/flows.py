@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.netsim.links import Link
+from repro.netsim.prio import PRIO_NORMAL
 from repro.simcore.events import Event
 
 
@@ -31,6 +32,17 @@ class Flow:
     #: Interned link-name tuple for the route, cached per (src, dst) by the
     #: Network so the fair-share solver never rebuilds name lists per call.
     names: tuple[str, ...] = ()
+    #: Strict-priority transmission class (repro.netsim.prio constants).
+    prio: int = PRIO_NORMAL
+    #: DRR-style weight within the class (uniform weights = plain max–min).
+    weight: float = 1.0
+    #: Effective bytes per P3-style slice, or ``None`` for an unsliced
+    #: flow (rate changes apply instantly). Sliced flows only accept a new
+    #: allocation at slice boundaries under multi-class contention.
+    slice_eff: Optional[float] = None
+    #: Remaining-bytes threshold of the current slice boundary; ``-1.0``
+    #: means no slice has been anchored yet.
+    slice_next: float = -1.0
 
     def __hash__(self) -> int:
         return self.fid

@@ -42,14 +42,27 @@ what they compute.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Any, Iterable, Optional
 
 import numpy as np
 
-from repro.netsim.fairshare import fairshare_mode, fast_fair_rates, max_min_fair_rates
+from repro.netsim.fairshare import (
+    _SAT_REL,
+    fairshare_mode,
+    fast_fair_rates,
+    max_min_fair_rates,
+    prio_fair_rates,
+)
 from repro.netsim.flows import Flow, FlowRecord
 from repro.netsim.links import Link
+from repro.netsim.prio import (
+    CLASS_NAMES,
+    DEFAULT_CLASS_WEIGHTS,
+    PRIO_NORMAL,
+    netprio_enabled,
+)
 from repro.netsim.topology import StarTopology
 from repro.simcore.environment import Environment
 from repro.simcore.events import Event
@@ -57,6 +70,11 @@ from repro.simcore.priority import URGENT
 
 #: Flows with fewer remaining effective bytes than this are complete.
 _BYTE_EPS = 1e-6
+
+#: Per-class drained-byte counter names, indexed by class value.
+_BYTE_COUNTERS = tuple(
+    f"netsim.prio_bytes.{CLASS_NAMES[cls]}" for cls in range(4)
+)
 
 
 class Network:
@@ -104,6 +122,11 @@ class Network:
             "netsim.rerate_skipped": 0,
             "netsim.fairshare_calls": 0,
             "netsim.records_dropped": 0,
+            "netsim.prio_preemptions": 0,
+            "netsim.prio_bytes.bulk": 0.0,
+            "netsim.prio_bytes.normal": 0.0,
+            "netsim.prio_bytes.high": 0.0,
+            "netsim.prio_bytes.urgent": 0.0,
         }
         self._active: dict[int, Flow] = {}
         self._next_fid = 0
@@ -113,6 +136,21 @@ class Network:
         self._links_by_name = {l.name: l for l in topology.links}
 
         self._fast = fairshare_mode() == "fast"
+        #: REPRO_NETPRIO kill-switch, read once at construction. When off,
+        #: every flow is coerced to NORMAL/unit-weight/unsliced at
+        #: admission and the scheduler is exactly the single-class core.
+        self._prio_on = netprio_enabled()
+        #: Default per-class DRR weight applied to flows that don't pass
+        #: an explicit ``weight=`` (mutable; uniform by default).
+        self.class_weights = dict(DEFAULT_CLASS_WEIGHTS)
+        #: Active-flow count per priority class (multi-class detector).
+        self._class_count: dict[int, int] = {}
+        #: Active flows with a non-unit weight / with slicing enabled.
+        self._weighted_count = 0
+        self._sliced_count = 0
+        #: fids locked mid-slice by the last priority solve (their rates
+        #: are pinned until the slice boundary).
+        self._locked: list[int] = []
         self._route_cache: dict[tuple, tuple[tuple[Link, ...], tuple[str, ...]]] = {}
         #: active-flow count per link name (decoupling detector).
         self._link_load: dict[str, int] = {}
@@ -131,6 +169,9 @@ class Network:
         #: insertion order *is* sorted-fid order — the exact map the legacy
         #: path rebuilds (and sorts) from scratch on every solve.
         self._solver_routes: dict[int, tuple[str, ...]] = {}
+        #: Parallel fid -> class / weight maps for the priority solver.
+        self._solver_prios: dict[int, int] = {}
+        self._solver_weights: dict[int, float] = {}
 
         # -- vectorized drain plane (fast mode, 2-link routes only) --------
         self._links_seq: list[Link] = list(topology.links)
@@ -143,6 +184,7 @@ class Network:
         self._arr_remaining = np.zeros(0)
         self._arr_rate = np.zeros(0)
         self._arr_links = np.zeros((0, 2), dtype=np.intp)
+        self._arr_prio = np.zeros(0, dtype=np.intp)
         self._act_dirty = True
         self._act_list: list[int] = []
         self._act_arr = np.zeros(0, dtype=np.intp)
@@ -153,16 +195,43 @@ class Network:
         """Snapshot of in-flight flows (ordered by flow id)."""
         return [self._active[fid] for fid in sorted(self._active)]
 
-    def transfer(self, src, dst, size: float, tag: Any = None) -> Event:
+    def transfer(
+        self,
+        src,
+        dst,
+        size: float,
+        tag: Any = None,
+        prio: int = PRIO_NORMAL,
+        weight: Optional[float] = None,
+        slice_bytes: Optional[float] = None,
+    ) -> Event:
         """Start a transfer of ``size`` payload bytes from ``src`` to ``dst``.
 
         Returns an event that succeeds with a :class:`FlowRecord` when the
         last byte arrives (serialisation under fair sharing + route latency).
         Loopback (``src == dst``) completes after zero time at the same
         instant, modelling co-located PS communication through shared memory.
+
+        ``prio`` picks the strict-priority class (repro.netsim.prio
+        constants); ``weight`` overrides the class's DRR weight for
+        weighted sharing *within* the class (default: the Network's
+        ``class_weights`` entry); ``slice_bytes`` enables P3-style slicing
+        — under multi-class contention the flow only accepts a *new* rate
+        at slice boundaries, modelling bounded preemption latency. All
+        three are ignored (coerced to NORMAL/unit/unsliced) when
+        ``REPRO_NETPRIO=off``.
         """
         if size < 0:
             raise ValueError(f"negative transfer size {size}")
+        if prio not in CLASS_NAMES:
+            raise ValueError(f"unknown priority class {prio!r}")
+        if self._prio_on:
+            if weight is None:
+                weight = self.class_weights.get(prio, 1.0)
+            if not weight > 0:
+                raise ValueError(f"non-positive flow weight {weight}")
+        else:
+            prio, weight, slice_bytes = PRIO_NORMAL, 1.0, None
         cached = self._route_cache.get((src, dst))
         if cached is None:
             route = tuple(self.topology.route(src, dst))
@@ -181,6 +250,12 @@ class Network:
         fid = self._next_fid
         self._next_fid += 1
 
+        # A slice grain at or below the completion epsilon is unresolvable
+        # — treat the flow as unsliced rather than spin on the boundary.
+        slice_eff = None
+        if slice_bytes is not None and float(slice_bytes) > _BYTE_EPS:
+            slice_eff = float(slice_bytes) * (1.0 + loss)
+
         flow = Flow(
             fid=fid,
             src=src,
@@ -193,6 +268,9 @@ class Network:
             tag=tag,
             start_time=self.env.now,
             names=names,
+            prio=prio,
+            weight=weight if weight is not None else 1.0,
+            slice_eff=slice_eff,
         )
 
         if not route or flow.remaining <= _BYTE_EPS:
@@ -212,9 +290,9 @@ class Network:
             self._rerate()
         return done
 
-    def transfer_process(self, src, dst, size: float, tag: Any = None):
+    def transfer_process(self, src, dst, size: float, tag: Any = None, **kwargs):
         """Generator wrapper so callers can ``yield from`` a transfer."""
-        record = yield self.transfer(src, dst, size, tag=tag)
+        record = yield self.transfer(src, dst, size, tag=tag, **kwargs)
         return record
 
     def bulk_time(self, src, dst, size: float) -> float:
@@ -249,6 +327,13 @@ class Network:
         self._drain()
         self._capacities = {l.name: l.bandwidth for l in self.topology.links}
         self._solver_dirty = True  # cached allocations assume old capacities
+        if self._sliced_count:
+            # A fault transition applies immediately even to mid-slice
+            # flows: force every slice to a boundary so the coming solve
+            # re-rates them against the new capacities.
+            for flow in self._active.values():
+                if flow.slice_eff is not None:
+                    flow.slice_next = -1.0
         self._rerate()
 
     # ------------------------------------------------------------ internals
@@ -262,6 +347,17 @@ class Network:
         self._active[flow.fid] = flow
         self._pending_new.append(flow.fid)
         self._solver_routes[flow.fid] = flow.names
+        self._solver_prios[flow.fid] = flow.prio
+        self._solver_weights[flow.fid] = flow.weight
+        # The decoupled-delta skip path stays valid across classes and
+        # weights: a flow alone on its links has no competitors of any
+        # class, so its priority-fair rate is exactly its route's min
+        # capacity — no extra dirtying needed here.
+        self._class_count[flow.prio] = self._class_count.get(flow.prio, 0) + 1
+        if flow.weight != 1.0:
+            self._weighted_count += 1
+        if flow.slice_eff is not None:
+            self._sliced_count += 1
         load = self._link_load
         for name in set(flow.names):
             n = load.get(name, 0)
@@ -272,6 +368,7 @@ class Network:
             slot = self._alloc_slot(flow)
             self._arr_remaining[slot] = flow.remaining
             self._arr_rate[slot] = 0.0
+            self._arr_prio[slot] = flow.prio
             if self._vector_ok:
                 if len(flow.names) == 2:
                     self._arr_links[slot, 0] = self._link_index[flow.names[0]]
@@ -284,6 +381,17 @@ class Network:
         """Remove a finished flow from every bookkeeping plane."""
         del self._active[flow.fid]
         del self._solver_routes[flow.fid]
+        del self._solver_prios[flow.fid]
+        del self._solver_weights[flow.fid]
+        n_cls = self._class_count[flow.prio] - 1
+        if n_cls:
+            self._class_count[flow.prio] = n_cls
+        else:
+            del self._class_count[flow.prio]
+        if flow.weight != 1.0:
+            self._weighted_count -= 1
+        if flow.slice_eff is not None:
+            self._sliced_count -= 1
         if tr:
             tr.gauge_delta("obs.net.inflight_bytes", -flow.size)
             tr.gauge_delta("obs.net.active_flows", -1)
@@ -318,6 +426,10 @@ class Network:
                 grown_links = np.zeros((new_cap, 2), dtype=np.intp)
                 grown_links[: old_links.shape[0]] = old_links
                 self._arr_links = grown_links
+                old_prio = self._arr_prio
+                grown_prio = np.zeros(new_cap, dtype=np.intp)
+                grown_prio[: old_prio.size] = old_prio
+                self._arr_prio = grown_prio
         self._slot_of[flow.fid] = slot
         return slot
 
@@ -351,16 +463,28 @@ class Network:
             links = self._links_seq
             for idx in np.flatnonzero(per_link):
                 links[idx].bytes_carried += per_link[idx]
+            if self._prio_on:
+                per_cls = np.bincount(
+                    self._arr_prio[act], weights=moved, minlength=4
+                )
+                for cls in np.flatnonzero(per_cls):
+                    self._count(_BYTE_COUNTERS[cls], float(per_cls[cls]))
             slot_flow = self._slot_flow
             for i, slot in enumerate(self._act_list):
                 slot_flow[slot].remaining = new_rem[i]
             return
+        cls_bytes = [0.0, 0.0, 0.0, 0.0]
         for flow in self._active.values():
             moved = flow.rate * dt
             if moved > 0:
                 flow.remaining = max(0.0, flow.remaining - moved)
                 for link in flow.route:
                     link.bytes_carried += moved
+                cls_bytes[flow.prio] += moved
+        if self._prio_on:
+            for cls, nbytes in enumerate(cls_bytes):
+                if nbytes > 0:
+                    self._count(_BYTE_COUNTERS[cls], nbytes)
 
     def _schedule_rerate(self) -> None:
         """Arm (at most) one coalesced rerate for the current instant."""
@@ -380,6 +504,114 @@ class Network:
         if self._fast:
             self._arr_rate[self._slot_of[flow.fid]] = rate
 
+    def _after_plain_solve(self) -> None:
+        """Bookkeeping after a single-class full solve.
+
+        Plain solves apply allocations instantly (slicing never defers a
+        same-class fair-share adjustment), but each applied allocation
+        *starts a fresh slice*: anchor it so a higher-class arrival
+        mid-slice finds the flow locked at its running rate.
+        """
+        self._solver_dirty = False
+        self._rated = True
+        self._locked = []
+        if self._sliced_count:
+            for flow in self._active.values():
+                if flow.slice_eff is not None:
+                    flow.slice_next = max(0.0, flow.remaining - flow.slice_eff)
+
+    def _prio_solve(self, fresh_anchor: set) -> None:
+        """Strict-priority allocation over a multi-class active set.
+
+        P3-style slicing first: a sliced flow that is mid-slice keeps its
+        current rate (locked) until the boundary; its pinned consumption
+        is subtracted from link capacities before the class loop, so even
+        a higher-class arrival waits out at most one slice — the modelled
+        preemption latency. Everything else goes through
+        :func:`prio_fair_rates`: classes solved highest first over the
+        leftover capacity, equal-class flows sharing by (weighted)
+        max–min with the mode-dispatched solver, lower classes starved
+        outright on saturated links (``netsim.prio_preemptions`` counts
+        flows whose running rate that drops to zero).
+        """
+        active = self._active
+        locked: list[int] = []
+        if self._sliced_count:
+            for fid, flow in active.items():
+                if flow.slice_eff is None:
+                    continue
+                if (
+                    flow.slice_next >= 0.0
+                    and flow.slice_eff > 0.0
+                    and flow.remaining < flow.slice_next - _BYTE_EPS
+                ):
+                    # Boundaries passed without a rerate (the flow ran
+                    # uncontended): advance the anchor along its slice grid
+                    # to the boundary of the slice `remaining` now sits in.
+                    behind = flow.slice_next - flow.remaining
+                    steps = math.ceil(behind / flow.slice_eff - 1e-9)
+                    flow.slice_next = max(
+                        0.0, flow.slice_next - steps * flow.slice_eff
+                    )
+                if (
+                    flow.rate > 0.0
+                    and flow.slice_next >= 0.0
+                    and flow.remaining > flow.slice_next + _BYTE_EPS
+                    and fid not in fresh_anchor
+                ):
+                    locked.append(fid)
+                else:
+                    flow.slice_next = max(0.0, flow.remaining - flow.slice_eff)
+                    fresh_anchor.add(fid)
+        self._locked = locked
+
+        starved_by_lock: list[int] = []
+        if locked:
+            caps = dict(self._capacities)
+            lockset = set(locked)
+            for fid in locked:
+                flow = active[fid]
+                for name in set(flow.names):
+                    caps[name] = max(0.0, caps[name] - flow.rate)
+            # A flow crossing a link the locked slices fully consume is
+            # starved for the rest of the slice, whatever its class; the
+            # remaining links must reach the solver strictly positive.
+            routes: dict[int, tuple] = {}
+            full = self._capacities
+            for fid, names in self._solver_routes.items():
+                if fid in lockset:
+                    continue
+                if any(caps[n] <= full[n] * _SAT_REL for n in set(names)):
+                    starved_by_lock.append(fid)
+                else:
+                    routes[fid] = names
+        else:
+            caps = self._capacities
+            routes = self._solver_routes
+
+        weights = self._solver_weights if self._weighted_count else None
+        if self._fast:
+            def solver(r, c):
+                return fast_fair_rates(r, c, validate=False)
+        else:
+            solver = max_min_fair_rates
+        rates = prio_fair_rates(
+            routes, caps, self._solver_prios, weights, solver=solver
+        )
+        self._count("netsim.fairshare_calls")
+        preempted = 0
+        for fid in starved_by_lock:
+            rates[fid] = 0.0
+        for fid, rate in rates.items():
+            flow = active[fid]
+            if rate == 0.0 and flow.rate > 0.0:
+                preempted += 1
+            self._set_rate(flow, rate)
+        if preempted:
+            self._count("netsim.prio_preemptions", preempted)
+        self._solver_dirty = False
+        self._rated = True
+
     def _zero_remaining(self, flow: Flow) -> None:
         flow.remaining = 0.0
         if self._fast:
@@ -393,6 +625,9 @@ class Network:
         self._pending = False
         self._count("netsim.rerates")
         tr = self.env.tracer
+        #: fids whose slice was (re-)anchored during *this* rerate — they
+        #: must not be considered mid-slice by a later loop iteration.
+        fresh_anchor: set[int] = set()
         while True:
             # Complete flows that have fully drained.
             finished = [
@@ -406,10 +641,13 @@ class Network:
                 self._pending_new.clear()
                 return
 
+            multi = self._prio_on and len(self._class_count) > 1
             if self._fast and self._rated and not self._solver_dirty:
                 # Every change since the last solve is decoupled: survivors
                 # keep their rates; each new flow is alone on its links, so
-                # its fair share is exactly its route's min capacity.
+                # its fair share is exactly its route's min capacity —
+                # regardless of class (no competitors to preempt or defer
+                # to) — so this path stays valid under priorities.
                 for fid in self._pending_new:
                     flow = self._active.get(fid)
                     if flow is not None:
@@ -417,7 +655,13 @@ class Network:
                             flow,
                             min(self._capacities[n] for n in set(flow.names)),
                         )
+                        if flow.slice_eff is not None:
+                            flow.slice_next = max(
+                                0.0, flow.remaining - flow.slice_eff
+                            )
                 self._count("netsim.rerate_skipped")
+            elif multi:
+                self._prio_solve(fresh_anchor)
             elif self._fast:
                 rates = fast_fair_rates(
                     self._solver_routes, self._capacities, validate=False
@@ -429,8 +673,7 @@ class Network:
                     rate = rates[fid]
                     flow.rate = rate
                     arr_rate[slot_of[fid]] = rate
-                self._solver_dirty = False
-                self._rated = True
+                self._after_plain_solve()
             else:
                 routes = {
                     fid: [l.name for l in f.route]
@@ -440,8 +683,7 @@ class Network:
                 self._count("netsim.fairshare_calls")
                 for fid, flow in self._active.items():
                     self._set_rate(flow, rates[fid])
-                self._solver_dirty = False
-                self._rated = True
+                self._after_plain_solve()
             self._pending_new.clear()
 
             if self._fast and self._vector_ok:
@@ -459,6 +701,16 @@ class Network:
                 for flow in self._active.values():
                     if flow.rate > 0:
                         horizon = min(horizon, flow.remaining / flow.rate)
+            if self._locked:
+                # A mid-slice flow's pinned rate expires at its slice
+                # boundary — wake there so deferred allocations apply.
+                for fid in self._locked:
+                    flow = self._active.get(fid)
+                    if flow is not None and flow.rate > 0 and flow.slice_eff:
+                        horizon = min(
+                            horizon,
+                            (flow.remaining - flow.slice_next) / flow.rate,
+                        )
             if horizon == float("inf"):  # pragma: no cover - defensive
                 raise RuntimeError("active flows but no positive rate")
 
@@ -471,6 +723,20 @@ class Network:
             for flow in self._active.values():
                 if flow.rate > 0 and now + flow.remaining / flow.rate <= now:
                     self._zero_remaining(flow)
+            for fid in self._locked:
+                # Same guard for slice boundaries: a grain too fine to
+                # advance the clock degrades the flow to unsliced.
+                flow = self._active.get(fid)
+                if (
+                    flow is not None
+                    and flow.slice_eff is not None
+                    and flow.rate > 0
+                    and now + (flow.remaining - flow.slice_next) / flow.rate
+                    <= now
+                ):
+                    flow.slice_eff = None
+                    self._sliced_count -= 1
+                    self._solver_dirty = True  # re-solve without the lock
 
         version = self._timer_version
         timer = self.env.timeout(horizon)

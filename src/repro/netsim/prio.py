@@ -1,0 +1,81 @@
+"""Transmission priority classes for the fluid-flow scheduler.
+
+OSP's protocol stages have sharply different latency sensitivity: the RS
+stage is barrier-closed (every worker waits on it), the GIB bitmap
+broadcast gates the *next* round's classification, while ICS rounds and
+injected background tenants are explicitly off the critical path (PAPER
+§3, Fig. 5). P3 (Jayarajan et al., MLSys'19) showed that class- and
+slice-based transmission scheduling recovers exactly the overlap a
+FIFO/fair-shared fabric loses. This module defines the class lattice the
+:class:`~repro.netsim.network.Network` scheduler uses:
+
+=========  =====  =============================================
+class      value  canonical traffic
+=========  =====  =============================================
+URGENT       3    GIB bitmap broadcasts (tiny, gates a round)
+HIGH         2    RS push/pull (barrier-closed important grads)
+NORMAL       1    unclassified traffic (the default)
+BULK         0    ICS rounds, background/cross-tenant load
+=========  =====  =============================================
+
+Scheduling is strict-priority *per link*: a higher class starves lower
+classes on every link they share; flows of equal class keep today's
+(weighted) max–min semantics. When every active flow is in one class —
+any class — the allocation degenerates to the plain solver and is
+bit-identical to the pre-priority scheduler.
+
+``REPRO_NETPRIO=off`` (or ``0``) is the kill-switch, mirroring the
+``REPRO_FLAT_ARENA`` / ``REPRO_FAIRSHARE`` convention: the Network then
+coerces every flow to NORMAL at admission and the scheduler is
+byte-for-byte the PR 7 core.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Strict-priority class values — higher value preempts lower per link.
+PRIO_URGENT = 3
+PRIO_HIGH = 2
+PRIO_NORMAL = 1
+PRIO_BULK = 0
+
+#: Class value -> short name (counter suffixes, docs, dashboards).
+CLASS_NAMES = {
+    PRIO_URGENT: "urgent",
+    PRIO_HIGH: "high",
+    PRIO_NORMAL: "normal",
+    PRIO_BULK: "bulk",
+}
+
+#: DRR-style per-class weights used *within* a class solve when a caller
+#: overrides flow weights (``Network.transfer(..., weight=)``); between
+#: classes scheduling is strict priority, so these defaults only name the
+#: unit weight every flow starts with.
+DEFAULT_CLASS_WEIGHTS = {
+    PRIO_URGENT: 1.0,
+    PRIO_HIGH: 1.0,
+    PRIO_NORMAL: 1.0,
+    PRIO_BULK: 1.0,
+}
+
+
+def netprio_enabled() -> bool:
+    """Whether the priority scheduler is active (default: yes).
+
+    Controlled by the ``REPRO_NETPRIO`` environment variable; ``off`` or
+    ``0`` disables it. Read at Network construction so scoped overrides
+    (benchmarks, differential tests) work per run.
+    """
+    return os.environ.get("REPRO_NETPRIO", "").strip().lower() not in ("off", "0")
+
+
+__all__ = [
+    "CLASS_NAMES",
+    "DEFAULT_CLASS_WEIGHTS",
+    "PRIO_BULK",
+    "PRIO_HIGH",
+    "PRIO_NORMAL",
+    "PRIO_URGENT",
+    "netprio_enabled",
+]

@@ -13,6 +13,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.netsim.network import Network
+from repro.netsim.prio import PRIO_BULK
 from repro.simcore.environment import Environment
 
 
@@ -56,7 +57,9 @@ def poisson_background(
             break
         src, dst = pairs[int(rng.integers(len(pairs)))]
         size = max(1.0, rng.exponential(mean_size))
-        done = network.transfer(src, dst, size, tag=("background", count))
+        done = network.transfer(
+            src, dst, size, tag=("background", count), prio=PRIO_BULK
+        )
         done.defused = True
         count += 1
     return count
@@ -74,18 +77,25 @@ def constant_background_load(
     """Generator process: saturate a fraction of the src→dst path.
 
     Sends back-to-back chunks sized so that, alone, the path would be busy
-    ``load_fraction`` of the time — a steady competing tenant.
+    ``load_fraction`` of the time — a steady competing tenant. The chunk
+    size is derived from the route's *effective* bottleneck bandwidth
+    (nominal × fault ``bandwidth_factor``) re-read before every chunk, so
+    the tenant tracks its advertised fraction through bandwidth-dip fault
+    windows instead of silently overshooting with chunks sized for the
+    healthy link.
     """
     if not (0.0 < load_fraction <= 1.0):
         raise ValueError(f"load_fraction must be in (0,1], got {load_fraction}")
     route = network.topology.route(src, dst)
     if not route:
         raise ValueError("background load needs a non-loopback path")
-    bottleneck = min(l.bandwidth for l in route)
-    chunk = bottleneck * chunk_seconds * load_fraction
     count = 0
     while until is None or env.now < until:
-        yield network.transfer(src, dst, chunk, tag=("bg-load", count))
+        bottleneck = min(l.bandwidth for l in route)
+        chunk = bottleneck * chunk_seconds * load_fraction
+        yield network.transfer(
+            src, dst, chunk, tag=("bg-load", count), prio=PRIO_BULK
+        )
         count += 1
         idle = chunk_seconds * (1.0 - load_fraction)
         if idle > 0:

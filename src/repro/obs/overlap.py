@@ -56,7 +56,9 @@ class OverlapReport:
     phase_time: dict[str, float] = field(default_factory=dict)
     #: stage ("rs"/"ics") -> layer -> payload bytes
     layer_traffic: dict[str, dict[str, float]] = field(default_factory=dict)
-    counters: dict[str, int] = field(default_factory=dict)
+    #: recorder counters; most are event counts (int) but byte accumulators
+    #: (e.g. ``netsim.prio_bytes.*``) are floats
+    counters: dict[str, float] = field(default_factory=dict)
 
     @property
     def hidden_sync_ratio(self) -> float:
@@ -332,8 +334,10 @@ def overlap_report_from_trace(payload: dict) -> OverlapReport:
         str(stage): {str(l): float(b) for l, b in layers.items()}
         for stage, layers in other.get("traffic", {}).items()
     }
+    # JSON round-trips ints as ints and floats exactly (repr), so keep the
+    # stored numeric type — int() would truncate byte accumulators.
     report.counters = {
-        str(k): int(v) for k, v in other.get("recorderCounters", {}).items()
+        str(k): v for k, v in other.get("recorderCounters", {}).items()
     }
     return report
 

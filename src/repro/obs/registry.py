@@ -56,6 +56,12 @@ COUNTERS: frozenset[str] = frozenset(
         "netsim.rerate_skipped",
         "netsim.fairshare_calls",
         "netsim.records_dropped",
+        # priority scheduling (repro.netsim.network; see docs/performance.md)
+        "netsim.prio_preemptions",
+        "netsim.prio_bytes.urgent",
+        "netsim.prio_bytes.high",
+        "netsim.prio_bytes.normal",
+        "netsim.prio_bytes.bulk",
     }
 )
 
@@ -87,6 +93,9 @@ TRACKS: frozenset[str] = frozenset(
         # cluster-wide signals (repro.obs.timeseries standard probes)
         "timeseries.net.inflight_bytes",
         "timeseries.net.active_flows",
+        # priority scheduling; {cls} is urgent / high / normal / bulk
+        "timeseries.net.prio.preemptions",
+        "timeseries.net.prio.{cls}.bytes",
         "timeseries.ps.pending_deposits",
         "timeseries.ps.open_buckets",
         # per-link signals; {link} is e.g. ``up:3`` / ``down:0``

@@ -189,7 +189,9 @@ class NetworkProbe:
     * ``timeseries.link.{name}.queue_depth`` — flows routed over the link;
     * ``timeseries.link.{name}.utilization`` — window byte delta over
       nominal capacity (fault dips read as *low* utilisation);
-    * ``timeseries.link.{name}.bandwidth_factor`` — fault state.
+    * ``timeseries.link.{name}.bandwidth_factor`` — fault state;
+    * ``timeseries.net.prio.preemptions`` / ``timeseries.net.prio.{cls}.bytes``
+      — priority-scheduler activity (cumulative, from ``Network.stats``).
     """
 
     def __init__(self, network) -> None:
@@ -222,6 +224,14 @@ class NetworkProbe:
             )
             yield f"timeseries.link.{link.name}.bandwidth_factor", link.bandwidth_factor
         self._last_t = now
+        stats = net.stats
+        yield "timeseries.net.prio.preemptions", float(
+            stats.get("netsim.prio_preemptions", 0)
+        )
+        for cls_name in ("urgent", "high", "normal", "bulk"):
+            yield f"timeseries.net.prio.{cls_name}.bytes", float(
+                stats.get(f"netsim.prio_bytes.{cls_name}", 0.0)
+            )
 
 
 class PSProbe:

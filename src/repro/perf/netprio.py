@@ -1,0 +1,255 @@
+"""Priority-scheduling benchmark (``repro perf-prio``).
+
+Measures what the priority-aware transmission scheduler buys OSP under
+multi-tenant contention: a timing-mode OSP run with constant background
+tenants (BULK class) saturating 80% of every worker↔PS path in both
+directions, run once with priorities on and once under the
+``REPRO_NETPRIO=off`` kill-switch. The guarded number is the p90 of the
+per-iteration RS-stage wait (rs_push + rs_barrier_wait + rs_pull span
+durations) — the synchronization cost the paper's 2-stage design puts on
+the critical path. With priorities on, RS traffic (HIGH) and the GIB
+bitmap broadcast (URGENT) starve the background and ICS (BULK) tenants,
+so the RS stage runs at near-uncontended speed; the committed baseline
+records the improvement ratio and CI guards it at ≥
+:data:`MIN_IMPROVEMENT`.
+
+All waits are *virtual* seconds, so the ratio is deterministic for a
+given config — unlike host-time benches there is no timing noise to
+absorb.
+
+An inert-path section reruns the netsim scaling workload (default-class
+traffic only) with the scheduler enabled vs killed and compares full
+virtual-time fingerprints: default traffic must not notice the scheduler
+exists. ``identical`` is guarded alongside the speedup by
+``tests/perf/test_bench_netprio_guard.py`` over the committed
+``BENCH_netprio.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.perf.hotpath import _env, get_path
+
+BENCH_SCHEMA = "repro.perf.netprio/v1"
+
+#: Minimum RS-stage p90 wait improvement (off / on) under contention.
+MIN_IMPROVEMENT = 1.5
+
+#: Background tenant load per direction on every worker↔PS path.
+LOAD_FRACTION = 0.8
+
+#: Dotted paths that must exist in a valid BENCH_netprio.json.
+REQUIRED_FIELDS = (
+    "schema",
+    "config.quick",
+    "config.card",
+    "config.workers",
+    "config.epochs",
+    "config.iterations",
+    "config.seed",
+    "config.load_fraction",
+    "contended.off.rs_stage_p90_s",
+    "contended.off.rs_stage_p50_s",
+    "contended.off.rs_push_p90_s",
+    "contended.off.throughput",
+    "contended.on.rs_stage_p90_s",
+    "contended.on.rs_stage_p50_s",
+    "contended.on.rs_push_p90_s",
+    "contended.on.throughput",
+    "contended.on.preemptions",
+    "contended.on.prio_bytes.urgent",
+    "contended.on.prio_bytes.high",
+    "contended.on.prio_bytes.bulk",
+    "contended.improvement",
+    "inert.identical",
+    "inert.fingerprint",
+)
+
+#: Ratios the guard requires to stay >= MIN_IMPROVEMENT.
+GUARDED_SPEEDUPS = ("contended.improvement",)
+
+
+def validate_bench(data: dict, min_improvement: float = MIN_IMPROVEMENT) -> list[str]:
+    """Schema + inert-identity + regression check; returns problems."""
+    problems: list[str] = []
+    for field in REQUIRED_FIELDS:
+        try:
+            get_path(data, field)
+        except (KeyError, TypeError):
+            problems.append(f"missing field: {field}")
+    if data.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema mismatch: expected {BENCH_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    for field in GUARDED_SPEEDUPS:
+        try:
+            value = float(get_path(data, field))
+        except (KeyError, TypeError, ValueError):
+            continue  # already reported as missing
+        if not value >= min_improvement:  # catches NaN too
+            problems.append(
+                f"regression: {field} = {value:.3f} < {min_improvement:.2f}"
+            )
+    try:
+        if get_path(data, "inert.identical") is not True:
+            problems.append("parity violation: inert.identical is not true")
+    except (KeyError, TypeError):
+        pass
+    return problems
+
+
+# ------------------------------------------------------------- the workload
+def _contended_run(
+    prio_on: bool,
+    card: str,
+    n_workers: int,
+    n_epochs: int,
+    iterations: int,
+    seed: int,
+    load_fraction: float,
+) -> dict:
+    """One contended OSP run; returns the RS-stage wait distribution.
+
+    Background tenants (``constant_background_load``, BULK class) occupy
+    ``load_fraction`` of every worker→PS *and* PS→worker path, so in the
+    off mode both the RS push and the RS pull share their links with
+    cross-traffic; with priorities on, HIGH/URGENT training flows starve
+    the tenants for the duration of each RS stage.
+    """
+    from repro.core.osp import OSP
+    from repro.harness.workloads import WorkloadConfig, timing_trainer
+    from repro.netsim.traffic import constant_background_load
+
+    with _env(REPRO_NETPRIO=None if prio_on else "off"):
+        cfg = WorkloadConfig(
+            card,
+            n_workers=n_workers,
+            n_epochs=n_epochs,
+            iterations_per_epoch=iterations,
+            seed=seed,
+        )
+        trainer = timing_trainer(cfg, OSP())
+        trainer.enable_tracing()
+        ps = trainer.spec.ps_node
+        for w in range(n_workers):
+            for src, dst in ((w, ps), (ps, w)):
+                trainer.env.process(
+                    constant_background_load(
+                        trainer.env,
+                        trainer.network,
+                        src=src,
+                        dst=dst,
+                        load_fraction=load_fraction,
+                        chunk_seconds=0.05,
+                        # comfortably beyond the run's virtual end
+                        until=600.0,
+                    )
+                )
+        res = trainer.run()
+
+    tracer = trainer.env.tracer
+    stage: dict[tuple, float] = {}
+    for s in tracer.spans_named("rs_push", "rs_barrier_wait", "rs_pull"):
+        key = (s.worker, s.iteration)
+        stage[key] = stage.get(key, 0.0) + s.duration
+    waits = np.array(sorted(stage.values()))
+    pushes = np.array([s.duration for s in tracer.spans_named("rs_push")])
+    stats = dict(trainer.network.stats)
+    out = {
+        "rs_stage_p90_s": float(np.percentile(waits, 90)),
+        "rs_stage_p50_s": float(np.percentile(waits, 50)),
+        "rs_push_p90_s": float(np.percentile(pushes, 90)),
+        "throughput": res.throughput,
+        "virtual_s": res.wall_time,
+    }
+    if prio_on:
+        out["preemptions"] = int(stats.get("netsim.prio_preemptions", 0))
+        out["prio_bytes"] = {
+            cls: float(stats.get(f"netsim.prio_bytes.{cls}", 0.0))
+            for cls in ("urgent", "high", "normal", "bulk")
+        }
+    return out
+
+
+def _inert_section(n_workers: int, layers: int, iterations: int) -> dict:
+    """Default-class traffic must be bit-identical with the scheduler on
+    vs killed — the same witness ``tests/netsim/test_prio.py`` property-
+    tests, here run at sweep scale on the netsim scaling workload."""
+    from repro.perf.netsim_scale import _run_scale_workload
+
+    with _env(REPRO_NETPRIO=None):
+        on_fp, _ = _run_scale_workload(n_workers, layers, iterations)
+    with _env(REPRO_NETPRIO="off"):
+        off_fp, _ = _run_scale_workload(n_workers, layers, iterations)
+    return {
+        "workers": n_workers,
+        "identical": on_fp == off_fp,
+        "fingerprint": on_fp,
+    }
+
+
+# ------------------------------------------------------------------ driver
+def run_netprio_bench(
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the full priority-scheduling benchmark; returns the BENCH dict."""
+    say = progress or (lambda _msg: None)
+    card = "resnet50-cifar10"
+    n_workers = 4
+    n_epochs = 2 if quick else 4
+    iterations = 6
+    seed = 7
+
+    say("contended: OSP under 2x4 background tenants, priorities off")
+    off = _contended_run(
+        False, card, n_workers, n_epochs, iterations, seed, LOAD_FRACTION
+    )
+    say("contended: same schedule, priorities on")
+    on = _contended_run(
+        True, card, n_workers, n_epochs, iterations, seed, LOAD_FRACTION
+    )
+    say("inert: default-class sweep workload, scheduler on vs killed")
+    inert = _inert_section(8 if quick else 16, layers=24, iterations=1)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "quick": quick,
+            "card": card,
+            "workers": n_workers,
+            "epochs": n_epochs,
+            "iterations": iterations,
+            "seed": seed,
+            "load_fraction": LOAD_FRACTION,
+        },
+        "contended": {
+            "off": off,
+            "on": on,
+            "improvement": off["rs_stage_p90_s"]
+            / max(on["rs_stage_p90_s"], 1e-12),
+        },
+        "inert": inert,
+    }
+
+
+def save_bench(data: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "GUARDED_SPEEDUPS",
+    "LOAD_FRACTION",
+    "MIN_IMPROVEMENT",
+    "REQUIRED_FIELDS",
+    "run_netprio_bench",
+    "save_bench",
+    "validate_bench",
+]

@@ -51,14 +51,20 @@ class DSSP(SSP):
         """The bound currently in force."""
         return self.staleness
 
-    def _observe(self, worker: int, duration: float) -> None:
+    def _observe(self, ctx, worker: int, duration: float) -> None:
         window = self._durations[worker]
         window.append(duration)
         if len(window) > self.window:
             window.pop(0)
-        means = [float(np.mean(w)) for w in self._durations.values() if w]
-        if len(means) < len(self._durations):
-            return  # not every worker measured yet
+        # The spread is a *current* processing-speed signal, so only workers
+        # that are actually running count: a crashed worker's frozen window
+        # must not pin the bound forever, and a not-yet-joined worker's
+        # empty window must not hold adaptation at s_min indefinitely.
+        alive = ctx.alive_workers
+        windows = [w for wid, w in self._durations.items() if wid in alive]
+        means = [float(np.mean(w)) for w in windows if w]
+        if not means or len(means) < len(windows):
+            return  # some live worker not measured yet
         spread = max(means) / max(min(means), 1e-12)
         # spread 1.0 -> s_min; spread >= 2.0 -> s_max; linear in between.
         frac = min(1.0, max(0.0, spread - 1.0))
@@ -70,7 +76,7 @@ class DSSP(SSP):
         now = ctx.env.now
         last = self._last_start.get(worker)
         if last is not None and now > last:
-            self._observe(worker, now - last)
+            self._observe(ctx, worker, now - last)
         self._last_start[worker] = now
         yield from super().before_compute(ctx, worker, iteration)
 

@@ -23,6 +23,11 @@ class SSP(ASP):
 
     name = "ssp"
 
+    #: The bound is computed over the *alive* worker set (see ``_floor``)
+    #: and blocked workers are woken on membership changes, so crashes,
+    #: departures and late joiners neither deadlock nor stall the cohort.
+    supports_elastic = True
+
     def __init__(self, staleness: int = 3) -> None:
         if staleness < 0:
             raise ValueError(f"staleness must be >= 0, got {staleness}")
@@ -32,10 +37,31 @@ class SSP(ASP):
         super().setup(ctx)
         self._progress = np.zeros(ctx.spec.n_workers, dtype=np.int64)
         self._progress_event: Event = ctx.env.event()
+        # A membership change moves the alive-only floor, so anyone blocked
+        # on the bound must re-check (same wake pattern as synchronize).
+        ctx.membership_hooks.append(lambda _n: self._wake(ctx))
+
+    def _wake(self, ctx) -> None:
+        if not self._progress_event.triggered:
+            old, self._progress_event = self._progress_event, ctx.env.event()
+            old.succeed()
+
+    def _floor(self, ctx) -> int:
+        """Slowest *alive* worker's progress — the bound must not gate
+        survivors on a crashed or departed worker's frozen counter."""
+        alive = ctx.alive_workers
+        if not alive:
+            return int(self._progress.max())
+        return min(int(self._progress[w]) for w in alive)
 
     def before_compute(self, ctx, worker, iteration):
+        # A late joiner (or crash/restart rejoiner) re-syncs its replica at
+        # entry, so it is not stale: seed its progress at the entry
+        # iteration instead of letting a zero stall the whole cohort.
+        if iteration > int(self._progress[worker]):
+            self._progress[worker] = iteration
         span = None
-        while iteration - int(self._progress.min()) > self.staleness:
+        while iteration - self._floor(ctx) > self.staleness:
             if span is None:
                 span = ctx.trace.begin(
                     "staleness_wait", f"worker {worker}",

@@ -31,6 +31,7 @@ if TYPE_CHECKING:
     from repro.cluster.context import TrainerContext
 
 from repro.hardware.compute import BACKWARD_FACTOR
+from repro.netsim.prio import PRIO_HIGH, PRIO_NORMAL
 from repro.sync.base import SyncModel
 
 
@@ -82,6 +83,13 @@ class WFBP(SyncModel):
         # Layers in backward order (output-side first): reversed splitter
         # order, since leaf_layers lists input-side first.
         self._layers_bwd = tuple(reversed(ctx.engine.splitter.layers))
+        # P3-style priority schedule: the next forward pass consumes
+        # parameters input-side first, so pushes for the first half of the
+        # *forward* order are urgent (HIGH) and the output-side rest can
+        # ride behind them (NORMAL). With priorities disabled the Network
+        # coerces everything back to NORMAL and behaviour is unchanged.
+        fwd = ctx.engine.splitter.layers
+        self._prio_layers = frozenset(fwd[: max(1, len(fwd) // 2)])
         t_c = ctx.engine.base_compute_time(ctx.spec)
         self._t_bwd = t_c * BACKWARD_FACTOR / (1.0 + BACKWARD_FACTOR)
 
@@ -107,7 +115,10 @@ class WFBP(SyncModel):
             if exposed_bytes > 0:
                 exposed_done.append(
                     ctx.transfer_to_ps(
-                        worker, exposed_bytes, tag=("wfbp-push", worker, iteration, layer)
+                        worker,
+                        exposed_bytes,
+                        tag=("wfbp-push", worker, iteration, layer),
+                        prio=PRIO_HIGH if layer in self._prio_layers else PRIO_NORMAL,
                     )
                 )
 
@@ -117,7 +128,10 @@ class WFBP(SyncModel):
             ctx.ps.apply_average(f"wfbp:{iteration}")
         yield self._barrier.wait()
         yield ctx.transfer_from_ps(
-            worker, engine.model_bytes, tag=("wfbp-pull", worker, iteration)
+            worker,
+            engine.model_bytes,
+            tag=("wfbp-pull", worker, iteration),
+            prio=PRIO_HIGH,
         )
         ctx.engine.sync_replica(worker, ctx.ps)
 

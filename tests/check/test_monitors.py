@@ -7,8 +7,10 @@ from repro.check import (
     InvariantChecker,
     InvariantViolation,
     NetworkConservationMonitor,
+    QuorumConsistencyMonitor,
     run_checked,
 )
+from repro.cluster import MembershipSchedule, WorkerJoin, WorkerLeave
 from repro.core.gib import GIB
 from repro.core.osp import OSP
 from repro.harness.workloads import (
@@ -64,6 +66,7 @@ def test_inapplicable_monitors_are_skipped_not_failed():
     assert set(report.skipped) == {
         "osp.gib",
         "sync.staleness",
+        "elastic.quorum",  # static membership: nothing to cross-check
         "ps.arena_parity",
         "osp.ics_inflight",  # untraced run: no gauge to cross-check
     }
@@ -110,6 +113,55 @@ def test_network_tampering_detected_at_finish():
     report = checker.finish()
     assert not report.ok
     assert report.violations[0].monitor == "net.conservation"
+
+
+def _elastic_cfg():
+    return WorkloadConfig(
+        card_name="resnet50-cifar10",
+        n_workers=4,
+        n_epochs=6,
+        iterations_per_epoch=3,
+        sigma=0.1,
+        seed=7,
+        membership=MembershipSchedule(
+            (WorkerJoin(worker=3, epoch=2), WorkerLeave(worker=0, epoch=4))
+        ),
+    )
+
+
+def test_quorum_monitor_passes_on_elastic_run():
+    _result, report = run_checked(timing_trainer(_elastic_cfg(), OSP()))
+    assert report.ok
+    checks, violations = report.monitors["elastic.quorum"]
+    assert checks > 0
+    assert violations == 0
+
+
+def test_quorum_monitor_skipped_on_static_run():
+    _result, report = run_checked(timing_trainer(_cfg(), OSP()))
+    assert "elastic.quorum" in report.skipped
+
+
+def test_quorum_monitor_catches_off_by_one_resize():
+    """An injected off-by-one in the membership resize path is caught."""
+    trainer = timing_trainer(_elastic_cfg(), OSP())
+    checker = InvariantChecker(
+        trainer, monitors=[QuorumConsistencyMonitor], strict=False
+    )
+    ctx = trainer.ctx
+    orig = ctx._notify_membership
+
+    def off_by_one():
+        orig()
+        for barrier in ctx._quorum_barriers:
+            barrier.set_parties(max(1, barrier.parties - 1))  # injected bug
+
+    ctx._notify_membership = off_by_one
+    trainer.run()
+    report = checker.finish()
+    assert not report.ok
+    assert report.monitors["elastic.quorum"][1] > 0
+    assert any("quorum barrier" in str(v) for v in report.violations)
 
 
 def test_monitors_do_not_perturb_the_timeline():

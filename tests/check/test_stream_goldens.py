@@ -1,0 +1,81 @@
+"""Committed replay-stream goldens, one per baseline sync model.
+
+`test_stream_io.py` pins the OSP schedule; these pin BSP, ASP, SSP, DSSP
+and R²SP on the same timing-mode workload card. Together they freeze the
+virtual-time behaviour of every sync model whose traffic is single-class
+(all flows NORMAL) — exactly the regime the priority scheduler promises
+to leave bit-identical — so any netsim/scheduler change that shifts one
+float64 bit in an all-NORMAL run fails here with a localized divergence.
+
+The goldens were generated *before* the priority-aware scheduler landed,
+so they also serve as the "identical to main" witness for PR 8. If a
+divergence is an intended semantic change, regenerate:
+
+    PYTHONPATH=src python tests/check/test_stream_goldens.py regen [sync]
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.check import capture_stream, dump_stream, first_divergence, load_stream
+from repro.harness.workloads import WorkloadConfig, timing_trainer
+from repro.sync import ASP, BSP, DSSP, R2SP, SSP
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SYNC_FACTORIES = {
+    "bsp": BSP,
+    "asp": ASP,
+    "ssp": SSP,
+    "dssp": DSSP,
+    "r2sp": R2SP,
+}
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}_vgg16_stream.jsonl"
+
+
+def _fresh_stream(name: str):
+    # Same card/shape as the OSP golden (test_stream_io._golden_trainer)
+    # so the five baselines and OSP pin the same workload.
+    cfg = WorkloadConfig(
+        card_name="vgg16-cifar10",
+        n_workers=4,
+        n_epochs=3,
+        iterations_per_epoch=6,
+        sigma=0.1,
+        seed=7,
+    )
+    trainer = timing_trainer(cfg, SYNC_FACTORIES[name]())
+    result = trainer.run()
+    return capture_stream(trainer, result)
+
+
+@pytest.mark.parametrize("name", sorted(SYNC_FACTORIES))
+def test_fresh_run_matches_committed_golden(name):
+    golden = load_stream(_golden_path(name))
+    fresh = _fresh_stream(name)
+    index = first_divergence(golden, fresh)
+    if index is not None:
+        g = golden[index] if index < len(golden) else None
+        f = fresh[index] if index < len(fresh) else None
+        pytest.fail(
+            f"{name} event stream diverged from golden at index {index}:\n"
+            f"  golden: {g.render() if g else '<stream ended>'}\n"
+            f"  fresh:  {f.render() if f else '<stream ended>'}\n"
+            "If this change is intended, regenerate with: "
+            "PYTHONPATH=src python tests/check/test_stream_goldens.py regen"
+        )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        targets = sys.argv[2:] or sorted(SYNC_FACTORIES)
+        for name in targets:
+            path = dump_stream(_fresh_stream(name), _golden_path(name))
+            print(f"wrote {path} ({len(load_stream(path))} events)")
+    else:
+        print(__doc__)

@@ -1,0 +1,82 @@
+"""Tier-1 guard over the committed priority-scheduling baseline.
+
+Fails when ``BENCH_netprio.json`` is missing, missing a schema field,
+records the inert default-class path as not bit-identical across the
+scheduler on/kill-switch modes, or shows the contended RS-stage p90 wait
+improvement below the guarded minimum — i.e. when priority scheduling has
+either stopped helping OSP under contention or (worse) started perturbing
+default-class traffic.
+
+Unlike the host-time benches, the guarded ratio is a quotient of two
+*virtual-time* percentiles, so the committed number is deterministic for
+the committed config — a drop means the scheduler's behavior changed.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+from repro.perf.hotpath import get_path
+from repro.perf.netprio import (
+    BENCH_SCHEMA,
+    GUARDED_SPEEDUPS,
+    MIN_IMPROVEMENT,
+    REQUIRED_FIELDS,
+    validate_bench,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_netprio.json"
+
+
+def _load():
+    assert BENCH_PATH.exists(), (
+        f"{BENCH_PATH} missing — regenerate with `make bench-prio` "
+        "(or `python -m repro perf-prio`)"
+    )
+    return json.loads(BENCH_PATH.read_text())
+
+
+def test_committed_bench_has_all_schema_fields():
+    data = _load()
+    assert data["schema"] == BENCH_SCHEMA
+    for field in REQUIRED_FIELDS:
+        get_path(data, field)  # KeyError -> test failure names the field
+
+
+def test_committed_bench_valid_and_improvement_holds():
+    problems = validate_bench(_load(), min_improvement=MIN_IMPROVEMENT)
+    assert problems == []
+
+
+def test_committed_bench_inert_path_identical():
+    assert _load()["inert"]["identical"] is True
+
+
+def test_committed_bench_shows_preemptions_and_class_traffic():
+    """The contended run must actually exercise the scheduler: BULK
+    tenants preempted at least once, HIGH and BULK bytes both nonzero."""
+    on = _load()["contended"]["on"]
+    assert on["preemptions"] > 0
+    assert on["prio_bytes"]["high"] > 0
+    assert on["prio_bytes"]["bulk"] > 0
+
+
+def test_validate_bench_flags_problems():
+    data = _load()
+    broken = copy.deepcopy(data)
+    del broken["contended"]["improvement"]
+    assert any("contended.improvement" in p for p in validate_bench(broken))
+
+    slow = copy.deepcopy(data)
+    slow["contended"]["improvement"] = 1.01
+    assert any("regression" in p for p in validate_bench(slow))
+
+    diverged = copy.deepcopy(data)
+    diverged["inert"]["identical"] = False
+    assert any("inert.identical" in p for p in validate_bench(diverged))
+
+    wrong = copy.deepcopy(data)
+    wrong["schema"] = "bogus/v0"
+    assert any("schema mismatch" in p for p in validate_bench(wrong))
+
+    assert GUARDED_SPEEDUPS  # the guard list itself must not be empty
