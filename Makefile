@@ -1,6 +1,6 @@
 # Canonical developer commands for the OSP reproduction.
 
-.PHONY: install test bench bench-full perf perf-full bench-net bench-net-full bench-prio bench-prio-full faults ckpt check trace dash compare examples clean
+.PHONY: install test bench bench-full perf perf-full bench-net bench-net-full bench-prio bench-prio-full bench-multijob bench-multijob-full faults ckpt check trace dash compare examples clean
 
 install:
 	pip install -e . || python setup.py develop --no-deps
@@ -43,6 +43,16 @@ bench-prio:
 # Regenerate the committed BENCH_netprio.json at full scale.
 bench-prio-full:
 	PYTHONPATH=src python -m repro perf-prio --out BENCH_netprio.json
+
+# Co-tenancy smoke: quick multi-job isolation run to a scratch file, then
+# validate the committed baseline (solo-job identity + guarded isolation).
+bench-multijob:
+	PYTHONPATH=src python -m repro perf-multijob --quick --out /tmp/BENCH_multijob.quick.json
+	PYTHONPATH=src python -m repro perf-multijob --check BENCH_multijob.json
+
+# Regenerate the committed BENCH_multijob.json at full scale.
+bench-multijob-full:
+	PYTHONPATH=src python -m repro perf-multijob --out BENCH_multijob.json
 
 # Fault-injection smoke: the tier-1 fault tests plus the robustness bench.
 faults:

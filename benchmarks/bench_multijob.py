@@ -1,0 +1,55 @@
+"""Perf-regression benchmark — multi-job co-tenancy on the shared fabric.
+
+Runs the ``repro perf-multijob`` harness (quick mode by default, the full
+co-tenant schedule with ``REPRO_BENCH_FULL=1``), prints the per-tenant
+table, and asserts what the tier-1 guard asserts about the committed
+``BENCH_multijob.json``: a solo job routed through ``repro.multijob`` is
+bit-identical to a direct ``DistributedTrainer`` run, and the OSP
+tenant's RS-stage p90 wait is protected by at least the guarded ratio
+when a background BULK tenant shares its hosts and the priority
+scheduler is on.
+"""
+
+from conftest import bench_quick
+
+from repro.metrics.report import format_table
+from repro.perf.multijob import MIN_IMPROVEMENT, run_multijob_bench
+
+
+def _run():
+    return run_multijob_bench(quick=bench_quick())
+
+
+def test_multijob_isolation_and_identity(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+    cont = data["contended"]
+    print()
+    rows = [
+        (
+            mode,
+            f"{cont[mode]['rs_stage_p90_s'] * 1e3:.1f}",
+            f"{cont[mode]['rs_stage_p50_s'] * 1e3:.1f}",
+            f"{cont[mode]['osp_wall_s']:.2f}",
+            f"{cont[mode]['bulk_wall_s']:.2f}",
+            f"{cont[mode]['osp_contended_share']:.1%}",
+        )
+        for mode in ("off", "on")
+    ]
+    print(
+        format_table(
+            ["priorities", "RS p90 (ms)", "RS p50 (ms)", "OSP wall (s)",
+             "BULK wall (s)", "OSP contended"],
+            rows,
+            title="Co-tenancy — OSP + background BSP on shared hosts",
+        )
+    )
+    print(f"improvement: {cont['improvement']:.2f}x  "
+          f"preemptions: {cont['on']['preemptions']}  "
+          f"identity identical: {data['identity']['identical']}")
+    assert data["identity"]["identical"], (
+        "solo job via repro.multijob diverged from the direct trainer run"
+    )
+    assert cont["improvement"] >= MIN_IMPROVEMENT, (
+        f"RS-stage p90 isolation {cont['improvement']:.2f}x "
+        f"below guarded {MIN_IMPROVEMENT}x"
+    )

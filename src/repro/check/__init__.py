@@ -44,6 +44,7 @@ from repro.check.replay import (
     replay_fairshare,
     replay_flat_arena,
     replay_resume,
+    stream_digest,
     span_context,
 )
 
@@ -73,6 +74,7 @@ __all__ = [
     "replay_fairshare",
     "replay_flat_arena",
     "replay_resume",
+    "stream_digest",
     "run_checked",
     "span_context",
 ]

@@ -46,11 +46,13 @@ class ReplayEvent:
 
 #: Counter namespaces excluded from the stream: checkpoint bookkeeping
 #: (``ckpt.restore`` legitimately differs between a resumed and an
-#: uninterrupted run), the checker's own counters, and network-scheduler
+#: uninterrupted run), the checker's own counters, network-scheduler
 #: work counters (``netsim.rerates`` etc. count *host-side* recomputes —
 #: the fast and legacy fair-share paths intentionally differ in how often
-#: they re-solve, not in what they compute).
-_EXCLUDED_COUNTER_PREFIXES = ("ckpt.", "check.", "netsim.")
+#: they re-solve, not in what they compute), and the multi-job runner's
+#: post-run interference attribution (a single job routed through
+#: ``repro.multijob`` must stream bit-identically to a direct run).
+_EXCLUDED_COUNTER_PREFIXES = ("ckpt.", "check.", "netsim.", "multijob.")
 
 
 def capture_stream(trainer, result) -> list[ReplayEvent]:
@@ -158,6 +160,16 @@ def _prefix_digest(events: Sequence[ReplayEvent], k: int) -> bytes:
         h.update(repr((ev.kind, ev.key, ev.value)).encode())
         h.update(b"\x00")
     return h.digest()
+
+
+def stream_digest(events: Sequence[ReplayEvent]) -> str:
+    """SHA-256 fingerprint of a whole replay stream (hex).
+
+    Two runs are bit-identical iff their digests match — the compact form
+    of :func:`first_divergence` used by bench fingerprints, where only the
+    yes/no (plus a committable witness string) is needed.
+    """
+    return _prefix_digest(events, len(events)).hex()
 
 
 def first_divergence(
@@ -427,4 +439,5 @@ __all__ = [
     "replay_flat_arena",
     "replay_resume",
     "span_context",
+    "stream_digest",
 ]

@@ -174,9 +174,22 @@ def cmd_report(args) -> int:
     if args.compare:
         from repro.obs.compare import compare_runs
 
-        report = compare_runs(
-            args.compare[0], args.compare[1], max_slowdown=args.max_slowdown
-        )
+        try:
+            report = compare_runs(
+                args.compare[0], args.compare[1], max_slowdown=args.max_slowdown
+            )
+        except FileNotFoundError as exc:
+            missing = getattr(exc, "filename", None) or exc
+            print(
+                f"error: summary file not found: {missing}\n"
+                "write one with `repro run --summary FILE` or "
+                "`repro dash --summary FILE`",
+                file=sys.stderr,
+            )
+            return 2
+        except ValueError as exc:  # includes json.JSONDecodeError
+            print(f"error: not a comparable run summary: {exc}", file=sys.stderr)
+            return 2
         if args.json:
             print(json.dumps(report.as_dict()))
         else:
@@ -228,6 +241,107 @@ def cmd_dash(args) -> int:
     if args.summary:
         save_summary(run_summary(res, sampler), args.summary)
         print(f"wrote run summary to {args.summary}")
+    return 0
+
+
+def _parse_jobs_spec(spec: str):
+    """--jobs value: inline JSON list or a path to a JSON file.
+
+    Each entry: ``{"name": ..., "workload": card, "sync": factory-name,
+    "workers": N, "epochs": N, "iterations": N, "sigma": f, "seed": N,
+    "background": bool}`` — unknown keys are rejected so typos fail loudly.
+    """
+    from pathlib import Path
+
+    from repro.multijob import JobSpec, background_job
+
+    text = spec
+    if not spec.lstrip().startswith("["):
+        text = Path(spec).read_text()
+    entries = json.loads(text)
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("--jobs must be a non-empty JSON list of job objects")
+    allowed = {
+        "name", "workload", "sync", "workers", "epochs",
+        "iterations", "sigma", "seed", "background",
+    }
+    jobs = []
+    for i, entry in enumerate(entries):
+        unknown = set(entry) - allowed
+        if unknown:
+            raise ValueError(f"job #{i}: unknown keys {sorted(unknown)}")
+        sync_name = entry.get("sync", "bsp")
+        if sync_name not in SYNC_FACTORIES:
+            raise ValueError(f"job #{i}: unknown sync {sync_name!r}")
+        cfg = WorkloadConfig(
+            entry.get("workload", "vgg16-cifar10"),
+            n_workers=entry.get("workers", 4),
+            n_epochs=entry.get("epochs", 2),
+            iterations_per_epoch=entry.get("iterations", 4),
+            sigma=entry.get("sigma", 0.1),
+            seed=entry.get("seed", 0),
+            colocated_ps=sync_name == "osp-c",
+        )
+        name = entry.get("name", f"j{i}")
+        factory = SYNC_FACTORIES[sync_name]
+        if entry.get("background"):
+            jobs.append(background_job(name, cfg, factory))
+        else:
+            jobs.append(JobSpec(name=name, workload=cfg, sync_factory=factory))
+    return jobs
+
+
+def cmd_multirun(args) -> int:
+    from pathlib import Path
+
+    from repro.harness.cotenancy import osp_with_background
+    from repro.multijob import MultiJobRunner, multijob_summary, render_report
+    from repro.multijob.report import save_summary as save_multijob_summary
+
+    if getattr(args, "net_prio", None):
+        import os
+
+        os.environ["REPRO_NETPRIO"] = "on" if args.net_prio == "on" else "off"
+    try:
+        jobs = (
+            _parse_jobs_spec(args.jobs)
+            if args.jobs
+            else osp_with_background(
+                card_name=args.workload,
+                n_workers=args.workers,
+                n_epochs=args.epochs,
+                iterations_per_epoch=args.iterations,
+                sigma=args.sigma,
+                seed=args.seed,
+            )
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: bad --jobs spec: {exc}", file=sys.stderr)
+        return 2
+    runner = MultiJobRunner(
+        jobs,
+        n_hosts=args.hosts,
+        placement=args.placement,
+        admission=args.admission,
+        slots_per_host=args.slots_per_host,
+        gpus_per_host=args.gpus_per_host,
+        headroom=args.headroom,
+    )
+    if args.dash:
+        runner.enable_sampling()
+    result = runner.run()
+    if args.json:
+        print(json.dumps(multijob_summary(result)))
+    else:
+        print(render_report(result))
+    if args.summary:
+        save_multijob_summary(multijob_summary(result), args.summary)
+        print(f"wrote multijob summary to {args.summary}")
+    if args.dash:
+        from repro.obs.dash import render_multijob_dashboard
+
+        Path(args.dash).write_text(render_multijob_dashboard(result))
+        print(f"wrote co-tenancy dashboard to {args.dash}")
     return 0
 
 
@@ -381,6 +495,49 @@ def cmd_perf_prio(args) -> int:
           f"on {cont['on']['throughput']:7.1f}/s  "
           f"(preemptions: {cont['on']['preemptions']})")
     print(f"  inert default-class path identical={data['inert']['identical']}")
+    problems = validate_bench(data, min_improvement=min_improvement)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_perf_multijob(args) -> int:
+    from repro.perf.multijob import (
+        MIN_IMPROVEMENT,
+        run_multijob_bench,
+        save_bench,
+        validate_bench,
+    )
+
+    min_improvement = (
+        args.min_improvement if args.min_improvement is not None else MIN_IMPROVEMENT
+    )
+    if args.check:
+        from pathlib import Path
+
+        data = json.loads(Path(args.check).read_text())
+        problems = validate_bench(data, min_improvement=min_improvement)
+        if problems:
+            for p in problems:
+                print(f"FAIL: {p}", file=sys.stderr)
+            return 1
+        print(f"{args.check}: schema ok, solo-job path identical, "
+              f"co-tenant RS-stage p90 isolation >= {min_improvement:.2f}x")
+        return 0
+
+    data = run_multijob_bench(quick=args.quick, progress=print)
+    save_bench(data, args.out)
+    print(f"wrote {args.out}")
+    cont = data["contended"]
+    print(f"  RS-stage p90 wait  off {cont['off']['rs_stage_p90_s'] * 1e3:7.1f}ms  "
+          f"on {cont['on']['rs_stage_p90_s'] * 1e3:7.1f}ms  "
+          f"{cont['improvement']:.2f}x")
+    print(f"  OSP wall           off {cont['off']['osp_wall_s']:7.2f}s  "
+          f"on {cont['on']['osp_wall_s']:7.2f}s  "
+          f"(preemptions: {cont['on']['preemptions']})")
+    print(f"  solo-job identity identical={data['identity']['identical']}")
     problems = validate_bench(data, min_improvement=min_improvement)
     if problems:
         for p in problems:
@@ -613,6 +770,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_dash.set_defaults(fn=cmd_dash)
 
+    p_multi = sub.add_parser(
+        "multirun",
+        help="run co-tenant jobs on one shared fabric (repro.multijob); "
+        "default scenario: an OSP job plus a best-effort BSP tenant",
+    )
+    p_multi.add_argument(
+        "--jobs", metavar="SPEC",
+        help="job list: inline JSON or a path to a JSON file — entries "
+        '{"name","workload","sync","workers","epochs","iterations",'
+        '"sigma","seed","background"}',
+    )
+    p_multi.add_argument(
+        "--workload", default="vgg16-cifar10", choices=sorted(MODEL_CARDS),
+        help="default-scenario workload (ignored with --jobs)",
+    )
+    p_multi.add_argument("--workers", type=int, default=4)
+    p_multi.add_argument("--epochs", type=int, default=3)
+    p_multi.add_argument("--iterations", type=int, default=6)
+    p_multi.add_argument("--sigma", type=float, default=0.1)
+    p_multi.add_argument("--seed", type=int, default=7)
+    p_multi.add_argument(
+        "--hosts", type=int, default=None,
+        help="pool size (default: exclusive fits all jobs at once; "
+        "shared fits the widest job)",
+    )
+    p_multi.add_argument(
+        "--placement", default="shared", choices=["exclusive", "shared"],
+        help="exclusive hosts per job, or co-located hosts with slot "
+        "contention (default: shared)",
+    )
+    p_multi.add_argument(
+        "--admission", default="immediate",
+        choices=["immediate", "fifo", "bandwidth"],
+    )
+    p_multi.add_argument(
+        "--slots-per-host", type=int, default=2,
+        help="tenant slots per host under shared placement",
+    )
+    p_multi.add_argument(
+        "--gpus-per-host", type=int, default=None,
+        help="compute slots per host (default: slots-per-host; lower "
+        "values serialise co-located compute)",
+    )
+    p_multi.add_argument(
+        "--headroom", type=float, default=1.0,
+        help="bandwidth-admission capacity factor",
+    )
+    p_multi.add_argument("--json", action="store_true", help="emit JSON summary")
+    p_multi.add_argument(
+        "--summary", metavar="FILE", help="write the multijob summary JSON"
+    )
+    p_multi.add_argument(
+        "--dash", metavar="FILE",
+        help="sample the run and write a co-tenancy HTML dashboard",
+    )
+    p_multi.add_argument(
+        "--net-prio", choices=["on", "off"], default=None,
+        help="priority-aware network scheduling (default: on unless "
+        "REPRO_NETPRIO=off)",
+    )
+    p_multi.set_defaults(fn=cmd_multirun)
+
     p_cmp = sub.add_parser("compare", help="compare the four paper sync models")
     add_common(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
@@ -726,6 +945,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="RS-stage p90 regression threshold (default: the guarded 1.5)",
     )
     p_prio.set_defaults(fn=cmd_perf_prio)
+
+    p_pmj = sub.add_parser(
+        "perf-multijob",
+        help="co-tenancy benchmark -> BENCH_multijob.json (or --check one)",
+    )
+    p_pmj.add_argument(
+        "--out", default="BENCH_multijob.json", help="output JSON path"
+    )
+    p_pmj.add_argument(
+        "--quick", action="store_true",
+        help="smoke mode: fewer epochs",
+    )
+    p_pmj.add_argument(
+        "--check", metavar="FILE", default=None,
+        help="validate an existing BENCH_multijob.json instead of running",
+    )
+    p_pmj.add_argument(
+        "--min-improvement", type=float, default=None,
+        help="co-tenant RS-stage p90 isolation threshold "
+        "(default: the guarded 1.5)",
+    )
+    p_pmj.set_defaults(fn=cmd_perf_multijob)
     return parser
 
 

@@ -85,6 +85,11 @@ class TrainerContext:
         )
         #: hooks the active sync model can register
         self.epoch_end_hooks: list = []
+        #: Co-tenancy compute-slot contention: worker -> shared-host
+        #: :class:`Resource` (set by the multi-job runner for shared-host
+        #: placements). ``None`` — the single-tenant default — keeps
+        #: :meth:`compute` on the exact legacy event sequence.
+        self.compute_slots: Optional[dict[int, Resource]] = None
 
     # -- observability --------------------------------------------------------
     @property
@@ -409,18 +414,38 @@ class TrainerContext:
     def compute(self, worker: int, epoch: int, batch: int, extra_time: float = 0.0):
         """Generator: advance virtual time by this iteration's (jittered)
         compute time, then run the numeric math. Returns
-        ``(grads, loss, samples, t_compute, t_start)``."""
+        ``(grads, loss, samples, t_compute, t_start)``.
+
+        Under a shared-host co-tenant placement (``compute_slots`` set) the
+        worker first acquires its host's compute-slot Resource, so jobs
+        oversubscribing a GPU serialise their compute phases; the queue
+        wait is folded into the returned compute time so iteration
+        accounting stays conservative. Single-tenant runs (``compute_slots``
+        is None) take the legacy event sequence untouched.
+        """
         iteration = epoch * self.iterations_per_epoch + batch
         base = self.engine.base_compute_time(self.spec) + extra_time
         if self.faults is not None:
             base *= self.faults.compute_factor(worker, self.env.now)
         t_c = self.spec.jitter.sample(base, worker, iteration)
         t_start = self.env.now
+        slot = None if self.compute_slots is None else self.compute_slots.get(worker)
         span = self.trace.begin(
             "compute", f"worker {worker}", worker=worker, iteration=iteration
         )
-        yield self.env.timeout(t_c)
-        grads, loss, samples = self.engine.compute(worker, epoch, batch)
+        if slot is not None:
+            yield slot.request()
+            try:
+                yield self.env.timeout(t_c)
+                grads, loss, samples = self.engine.compute(worker, epoch, batch)
+            finally:
+                slot.release()
+            # Fold the slot queue wait into the reported compute time so
+            # start + compute + sync still tiles the iteration.
+            t_c = self.env.now - t_start
+        else:
+            yield self.env.timeout(t_c)
+            grads, loss, samples = self.engine.compute(worker, epoch, batch)
         self.trace.end(span, loss=loss)
         self._epoch_losses.setdefault(epoch, []).append(loss)
         return grads, loss, samples, t_c, t_start

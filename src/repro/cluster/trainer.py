@@ -74,6 +74,16 @@ class DistributedTrainer:
         resume from. The virtual clock, recorder history, schedules and all
         parameter/momentum/sync state continue from the snapshot, so a
         resumed run is bit-identical to one that never stopped.
+    env, network:
+        Co-tenancy hooks: hand the trainer a *shared* environment and a
+        network (normally a :class:`repro.multijob.JobNetworkView` that
+        maps job-local node ids onto the shared fabric and tags flows with
+        the job name). When omitted the trainer owns both, exactly as
+        before. A shared environment is incompatible with checkpointing
+        and resume (the snapshot would capture the whole fabric's clock).
+    job:
+        Optional co-tenant job name; worker processes are created inside
+        ``env.job_scope(job)`` so tracer spans carry the job dimension.
     """
 
     def __init__(
@@ -87,6 +97,9 @@ class DistributedTrainer:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         checkpoint_policy: str = "drain",
         resume_from=None,
+        env: Optional[Environment] = None,
+        network: Optional[Network] = None,
+        job: Optional[str] = None,
     ) -> None:
         """``topology`` (optional) overrides the default single-rack star —
         e.g. :func:`repro.netsim.make_multirack_topology` for cross-rack
@@ -97,6 +110,18 @@ class DistributedTrainer:
         self.engine = engine
         self.sync_model = sync_model
         self._topology_override = topology
+        self.job = job
+        if network is not None and topology is not None:
+            raise ValueError("pass either a shared network= or a topology=, not both")
+        if network is not None and env is None:
+            env = network.env
+        if network is not None and network.env is not env:
+            raise ValueError("network= and env= belong to different environments")
+        if env is not None and (resume_from is not None or checkpoint_every is not None):
+            raise ValueError(
+                "checkpointing/resume is not supported on a shared env= "
+                "(the snapshot would capture the whole fabric)"
+            )
 
         if spec.membership is not None and not getattr(
             sync_model, "supports_elastic", False
@@ -129,15 +154,18 @@ class DistributedTrainer:
         # Resumed runs continue the virtual clock where the snapshot left it,
         # so traces, iteration timestamps, and fault windows stay on one
         # coherent timeline.
-        self.env = Environment(
+        self.env = env if env is not None else Environment(
             initial_time=self._snapshot.time if self._snapshot else 0.0
         )
-        topo = (
-            topology
-            if topology is not None
-            else StarTopology(spec.n_nodes, default_spec=spec.link)
-        )
-        self.network = Network(self.env, topo)
+        if network is not None:
+            self.network = network
+        else:
+            topo = (
+                topology
+                if topology is not None
+                else StarTopology(spec.n_nodes, default_spec=spec.link)
+            )
+            self.network = Network(self.env, topo)
         self.ps = engine.make_ps(plan)
         self.recorder = Recorder()
         # Mirror netsim.* scheduler counters into the run's counter table.
@@ -234,8 +262,14 @@ class DistributedTrainer:
         self.env.metric_sampler = sampler
         return sampler
 
-    def run(self) -> TrainingResult:
-        """Execute the simulation to completion and collect results."""
+    def start(self):
+        """Launch the worker processes without driving the event loop.
+
+        Returns the all-workers-finished event. Single-tenant callers use
+        :meth:`run`; the multi-job runner calls ``start()`` on every
+        co-tenant trainer over one shared environment, drives the loop
+        itself, then collects each job via :meth:`finish`.
+        """
         self.sync_model.setup(self.ctx)
         order = list(range(self.spec.n_workers))
         if self._snapshot is not None:
@@ -256,27 +290,44 @@ class DistributedTrainer:
             release = self._snapshot.meta.get("release_order") or []
             seen = [w for w in release if 0 <= w < self.spec.n_workers]
             order = seen + [w for w in order if w not in seen]
-        procs = [
-            self.env.process(self.sync_model.worker_process(self.ctx, w))
-            for w in order
-        ]
-        # Run until every worker process has finished (not until the event
-        # queue drains): wall_time then covers in-flight ICS drain but not
-        # unrelated trailing timers such as open-ended fault windows. A
-        # deadlocked cluster raises SimulationError instead of returning.
-        self.env.run(until=self.env.all_of(procs))
-        for p in procs:
+        with self.env.job_scope(self.job):
+            procs = [
+                self.env.process(self.sync_model.worker_process(self.ctx, w))
+                for w in order
+            ]
+        self._procs = procs
+        done = self.env.all_of(procs)
+        # Record the instant the last worker finished: under co-tenancy the
+        # shared clock keeps running for other jobs, so wall_time must be
+        # captured when *this* job's processes complete, not at collection.
+        done.callbacks.append(lambda _ev: setattr(self, "_end_time", self.env.now))
+        return done
+
+    def finish(self) -> TrainingResult:
+        """Collect the result after the workers launched by :meth:`start`
+        have finished (re-raising the first failed worker's exception)."""
+        for p in self._procs:
             if not p.ok:  # pragma: no cover - defensive
                 raise p.value
         return TrainingResult(
             sync_name=self.sync_model.name,
             recorder=self.recorder,
-            wall_time=self.env.now,
+            wall_time=self._end_time,
             context=self.ctx,
             iteration_end_time=self.recorder.end_time(),
             tracer=self.env.tracer,
             sampler=self.env.metric_sampler,
         )
+
+    def run(self) -> TrainingResult:
+        """Execute the simulation to completion and collect results."""
+        done = self.start()
+        # Run until every worker process has finished (not until the event
+        # queue drains): wall_time then covers in-flight ICS drain but not
+        # unrelated trailing timers such as open-ended fault windows. A
+        # deadlocked cluster raises SimulationError instead of returning.
+        self.env.run(until=done)
+        return self.finish()
 
 
 __all__ = ["DistributedTrainer", "TrainingResult"]

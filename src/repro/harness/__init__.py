@@ -14,6 +14,11 @@ from repro.harness.workloads import (
     timing_trainer,
 )
 from repro.harness import figures, sweep
+from repro.harness.cotenancy import (
+    osp_with_background,
+    shared_fabric_runner,
+    uniform_jobs,
+)
 from repro.harness.stats import MultiSeedResult, SeedStats, run_seeds
 
 __all__ = [
@@ -24,7 +29,10 @@ __all__ = [
     "figures",
     "make_numeric_dataset",
     "numeric_trainer",
+    "osp_with_background",
     "run_seeds",
+    "shared_fabric_runner",
     "sweep",
     "timing_trainer",
+    "uniform_jobs",
 ]

@@ -1,0 +1,45 @@
+"""Multi-job co-tenancy on the shared fabric.
+
+Run N independent training jobs — each with its own cluster spec, sync
+model, workload card and recorder — over ONE shared simulation clock and
+ONE shared network, with admission control, node placement, per-job flow
+tagging through the priority scheduler, and cross-job interference
+attribution. See ``docs/multijob.md``.
+"""
+
+from repro.multijob.job import JobSpec, background_job
+from repro.multijob.netview import FabricAccounting, JobNetworkView, MappedStarTopology
+from repro.multijob.pool import PLACEMENT_MODES, NodePool, Placement
+from repro.multijob.report import (
+    MULTIJOB_SCHEMA,
+    multijob_summary,
+    render_report,
+)
+from repro.multijob.runner import (
+    ADMISSION_MODES,
+    JobRun,
+    JobScheduler,
+    MultiJobResult,
+    MultiJobRunner,
+    run_jobs,
+)
+
+__all__ = [
+    "ADMISSION_MODES",
+    "FabricAccounting",
+    "JobNetworkView",
+    "JobRun",
+    "JobScheduler",
+    "JobSpec",
+    "MULTIJOB_SCHEMA",
+    "MappedStarTopology",
+    "MultiJobResult",
+    "MultiJobRunner",
+    "NodePool",
+    "PLACEMENT_MODES",
+    "Placement",
+    "background_job",
+    "multijob_summary",
+    "render_report",
+    "run_jobs",
+]

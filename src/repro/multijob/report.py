@@ -1,0 +1,119 @@
+"""Reporting for co-tenant runs: per-job table, interference attribution.
+
+``multijob_summary`` is the JSON artifact (schema-tagged like the
+single-run summaries in :mod:`repro.obs.compare`); ``render_report`` is
+the human-readable view the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.metrics.report import format_table
+from repro.multijob.runner import MultiJobResult
+
+MULTIJOB_SCHEMA = "repro.multijob_summary/1"
+
+
+def _job_dict(run) -> dict:
+    res = run.result
+    return {
+        "sync": res.sync_name,
+        "hosts": list(run.placement.hosts),
+        "placement_mode": run.placement.mode,
+        "submitted": run.submitted,
+        "admitted": run.admitted,
+        "finished": run.finished,
+        "queue_wait": run.queue_wait,
+        "wall_time": run.wall_time,
+        "throughput": res.throughput,
+        "mean_bst": res.mean_bst,
+        "mean_bct": res.mean_bct,
+        "iterations": res.recorder.total_iterations,
+        "job_bytes": run.job_bytes,
+        "contended_bytes": run.contended_bytes,
+        "solo_bytes": run.solo_bytes,
+        "contended_share": run.contended_share,
+        "active_seconds": run.active_seconds,
+        "contended_seconds": run.contended_seconds,
+        "counters": dict(res.recorder.counters),
+    }
+
+
+def multijob_summary(result: MultiJobResult) -> dict:
+    """JSON-able snapshot of a co-tenant run (per-job + fabric-wide)."""
+    return {
+        "schema": MULTIJOB_SCHEMA,
+        "wall_time": result.wall_time,
+        "admission": result.admission,
+        "placement": result.placement,
+        "n_hosts": result.n_hosts,
+        "slots_per_host": result.slots_per_host,
+        "gpus_per_host": result.gpus_per_host,
+        "jobs": {name: _job_dict(run) for name, run in result.jobs.items()},
+        "interference": result.interference_matrix(),
+        "network": {
+            k: v for k, v in sorted(result.network_stats.items())
+        },
+    }
+
+
+def save_summary(summary: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_report(result: MultiJobResult) -> str:
+    """Per-job table plus cross-job interference attribution."""
+    rows = []
+    for name, run in result.jobs.items():
+        res = run.result
+        rows.append(
+            (
+                name,
+                res.sync_name,
+                f"{run.queue_wait:.2f}",
+                f"{run.wall_time:.2f}",
+                f"{res.throughput:.1f}",
+                f"{res.mean_bst * 1e3:.0f}",
+                f"{run.job_bytes / 1e9:.2f}",
+                f"{run.contended_share:.1%}",
+            )
+        )
+    table = format_table(
+        [
+            "job",
+            "sync",
+            "queued (s)",
+            "wall (s)",
+            "samples/s",
+            "BST (ms)",
+            "GB moved",
+            "contended",
+        ],
+        rows,
+        title=(
+            f"{len(result.jobs)} jobs · {result.placement} placement · "
+            f"{result.admission} admission · {result.n_hosts} hosts"
+        ),
+    )
+    lines = [table]
+    matrix = result.interference_matrix()
+    pairs = [
+        (a, b, matrix[a][b])
+        for i, a in enumerate(matrix)
+        for b in list(matrix)[i + 1:]
+        if matrix[a][b] > 0.0
+    ]
+    if pairs:
+        lines.append("")
+        lines.append("cross-job fabric overlap (seconds both tenants had flows):")
+        for a, b, seconds in sorted(pairs, key=lambda p: -p[2]):
+            lines.append(f"  {a} <-> {b}: {seconds:.2f}s")
+    return "\n".join(lines)
+
+
+__all__ = ["MULTIJOB_SCHEMA", "multijob_summary", "render_report", "save_summary"]

@@ -43,6 +43,10 @@ class Flow:
     #: Remaining-bytes threshold of the current slice boundary; ``-1.0``
     #: means no slice has been anchored yet.
     slice_next: float = -1.0
+    #: Owning job name under multi-job co-tenancy, or ``None`` for a
+    #: single-tenant flow. Drained bytes of tagged flows are accounted to
+    #: ``netsim.job_bytes.{job}``.
+    job: Optional[str] = None
 
     def __hash__(self) -> int:
         return self.fid

@@ -77,6 +77,15 @@ _BYTE_COUNTERS = tuple(
 )
 
 
+def _job_counter(job: str) -> str:
+    """Drained-byte counter name for a job-tagged flow.
+
+    Matches the ``netsim.job_bytes.{job}`` template registered in
+    :mod:`repro.obs.registry`.
+    """
+    return f"netsim.job_bytes.{job}"
+
+
 class Network:
     """Transfer scheduler over a topology.
 
@@ -185,6 +194,15 @@ class Network:
         self._arr_rate = np.zeros(0)
         self._arr_links = np.zeros((0, 2), dtype=np.intp)
         self._arr_prio = np.zeros(0, dtype=np.intp)
+        # -- per-job byte accounting (multi-job co-tenancy) ----------------
+        #: job name -> stable small integer (index into _job_names).
+        self._job_index: dict[str, int] = {}
+        self._job_names: list[str] = []
+        #: Active flows carrying a job tag; zero keeps single-tenant runs
+        #: off the accounting path entirely.
+        self._job_count = 0
+        #: Per-slot job index (-1 = untagged), parallel to _arr_remaining.
+        self._arr_job = np.zeros(0, dtype=np.intp)
         self._act_dirty = True
         self._act_list: list[int] = []
         self._act_arr = np.zeros(0, dtype=np.intp)
@@ -204,6 +222,7 @@ class Network:
         prio: int = PRIO_NORMAL,
         weight: Optional[float] = None,
         slice_bytes: Optional[float] = None,
+        job: Optional[str] = None,
     ) -> Event:
         """Start a transfer of ``size`` payload bytes from ``src`` to ``dst``.
 
@@ -220,6 +239,11 @@ class Network:
         at slice boundaries, modelling bounded preemption latency. All
         three are ignored (coerced to NORMAL/unit/unsliced) when
         ``REPRO_NETPRIO=off``.
+
+        ``job`` attributes the flow to a co-tenant training job: its
+        drained bytes are accounted to ``netsim.job_bytes.{job}``.
+        Untagged transfers (the single-tenant default) skip the job
+        accounting path entirely.
         """
         if size < 0:
             raise ValueError(f"negative transfer size {size}")
@@ -271,6 +295,7 @@ class Network:
             prio=prio,
             weight=weight if weight is not None else 1.0,
             slice_eff=slice_eff,
+            job=job,
         )
 
         if not route or flow.remaining <= _BYTE_EPS:
@@ -314,6 +339,10 @@ class Network:
         link = self._links_by_name[name]
         return link.utilization(self.env.now)
 
+    def job_bytes(self, job: str) -> float:
+        """Effective bytes drained so far for flows tagged ``job=``."""
+        return float(self.stats.get(_job_counter(job), 0.0))
+
     def refresh_capacities(self) -> None:
         """Re-read link bandwidths after a fault changed them.
 
@@ -338,7 +367,8 @@ class Network:
 
     # ------------------------------------------------------------ internals
     def _count(self, name: str, n: int = 1) -> None:
-        self.stats[name] += n
+        # .get: per-job counters (netsim.job_bytes.{job}) appear dynamically.
+        self.stats[name] = self.stats.get(name, 0) + n
         if self.recorder is not None:
             self.recorder.incr(name, n)
 
@@ -358,6 +388,15 @@ class Network:
             self._weighted_count += 1
         if flow.slice_eff is not None:
             self._sliced_count += 1
+        if flow.job is not None:
+            self._job_count += 1
+            jidx = self._job_index.get(flow.job)
+            if jidx is None:
+                jidx = len(self._job_names)
+                self._job_index[flow.job] = jidx
+                self._job_names.append(flow.job)
+        else:
+            jidx = -1
         load = self._link_load
         for name in set(flow.names):
             n = load.get(name, 0)
@@ -369,6 +408,7 @@ class Network:
             self._arr_remaining[slot] = flow.remaining
             self._arr_rate[slot] = 0.0
             self._arr_prio[slot] = flow.prio
+            self._arr_job[slot] = jidx
             if self._vector_ok:
                 if len(flow.names) == 2:
                     self._arr_links[slot, 0] = self._link_index[flow.names[0]]
@@ -392,6 +432,8 @@ class Network:
             self._weighted_count -= 1
         if flow.slice_eff is not None:
             self._sliced_count -= 1
+        if flow.job is not None:
+            self._job_count -= 1
         if tr:
             tr.gauge_delta("obs.net.inflight_bytes", -flow.size)
             tr.gauge_delta("obs.net.active_flows", -1)
@@ -430,6 +472,10 @@ class Network:
                 grown_prio = np.zeros(new_cap, dtype=np.intp)
                 grown_prio[: old_prio.size] = old_prio
                 self._arr_prio = grown_prio
+                old_job = self._arr_job
+                grown_job = np.full(new_cap, -1, dtype=np.intp)
+                grown_job[: old_job.size] = old_job
+                self._arr_job = grown_job
         self._slot_of[flow.fid] = slot
         return slot
 
@@ -469,11 +515,24 @@ class Network:
                 )
                 for cls in np.flatnonzero(per_cls):
                     self._count(_BYTE_COUNTERS[cls], float(per_cls[cls]))
+            if self._job_count:
+                jobs = self._arr_job[act]
+                tagged = jobs >= 0
+                if tagged.any():
+                    per_job = np.bincount(
+                        jobs[tagged],
+                        weights=moved[tagged],
+                        minlength=len(self._job_names),
+                    )
+                    names = self._job_names
+                    for jidx in np.flatnonzero(per_job):
+                        self._count(_job_counter(names[jidx]), float(per_job[jidx]))
             slot_flow = self._slot_flow
             for i, slot in enumerate(self._act_list):
                 slot_flow[slot].remaining = new_rem[i]
             return
         cls_bytes = [0.0, 0.0, 0.0, 0.0]
+        job_bytes: dict[str, float] = {}
         for flow in self._active.values():
             moved = flow.rate * dt
             if moved > 0:
@@ -481,10 +540,14 @@ class Network:
                 for link in flow.route:
                     link.bytes_carried += moved
                 cls_bytes[flow.prio] += moved
+                if flow.job is not None:
+                    job_bytes[flow.job] = job_bytes.get(flow.job, 0.0) + moved
         if self._prio_on:
             for cls, nbytes in enumerate(cls_bytes):
                 if nbytes > 0:
                     self._count(_BYTE_COUNTERS[cls], nbytes)
+        for job, nbytes in job_bytes.items():
+            self._count(_job_counter(job), nbytes)
 
     def _schedule_rerate(self) -> None:
         """Arm (at most) one coalesced rerate for the current instant."""

@@ -568,10 +568,105 @@ def export_prometheus(sampler, prefix: str = "repro") -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_multijob_dashboard(result, title: Optional[str] = None) -> str:
+    """Render a co-tenant :class:`~repro.multijob.MultiJobResult` as one
+    self-contained HTML page: per-job tiles, an interference matrix, and
+    (when the runner sampled) per-tenant fabric-occupancy charts."""
+    title = title or f"{len(result.jobs)} co-tenant jobs"
+    sampler = getattr(result, "sampler", None)
+    t_max = float(result.wall_time)
+
+    # -- per-job table -------------------------------------------------------
+    rows = []
+    for name, run in result.jobs.items():
+        res = run.result
+        rows.append(
+            f"<tr><td>{html.escape(name)}</td>"
+            f"<td>{html.escape(res.sync_name)}</td>"
+            f"<td>{run.queue_wait:.2f}</td><td>{run.wall_time:.2f}</td>"
+            f"<td>{_fmt(res.throughput)}</td>"
+            f"<td>{res.mean_bst * 1e3:.0f}</td>"
+            f"<td>{_fmt(run.job_bytes)}B</td>"
+            f"<td>{run.contended_share:.1%}</td>"
+            f"<td>{html.escape(','.join(map(str, run.placement.hosts)))}</td></tr>"
+        )
+    sections = [
+        "<section><h2>Jobs</h2>"
+        '<table class="health"><thead><tr><th>job</th><th>sync</th>'
+        "<th>queued (s)</th><th>wall (s)</th><th>samples/s</th>"
+        "<th>BST (ms)</th><th>moved</th><th>contended</th><th>hosts</th>"
+        "</tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></section>"
+    ]
+
+    # -- interference matrix -------------------------------------------------
+    matrix = result.interference_matrix()
+    names = list(matrix)
+    if len(names) > 1:
+        head_cells = "".join(f"<th>{html.escape(n)}</th>" for n in names)
+        body = []
+        for a in names:
+            cells = "".join(
+                f"<td>{'&mdash;' if a == b else f'{matrix[a][b]:.2f}'}</td>"
+                for b in names
+            )
+            body.append(f"<tr><td>{html.escape(a)}</td>{cells}</tr>")
+        sections.append(
+            "<section><h2>Interference (seconds of fabric overlap)</h2>"
+            f'<table class="health"><thead><tr><th></th>{head_cells}</tr>'
+            f"</thead><tbody>{''.join(body)}</tbody></table></section>"
+        )
+
+    # -- per-tenant occupancy charts ----------------------------------------
+    if sampler is not None:
+        charts = []
+        for suffix, caption in (
+            ("active_flows", "active flows per tenant"),
+            ("inflight_bytes", "in-flight bytes per tenant"),
+        ):
+            chart = _Chart(f"mj-{suffix}", caption, t_max, [])
+            for slot, name in enumerate(result.jobs):
+                s = sampler.series.get(f"multijob.{name}.{suffix}")
+                if s is not None and len(s):
+                    chart.add(name, slot, s.times, s.values)
+            if chart.series:
+                charts.append(chart.render())
+        if charts:
+            sections.append(
+                "<section><h2>Fabric occupancy</h2>"
+                f'<div class="grid">{"".join(charts)}</div></section>'
+            )
+
+    head = (
+        f"<h1>{html.escape(title)}</h1>"
+        f'<p class="sub">{html.escape(result.placement)} placement &middot; '
+        f"{html.escape(result.admission)} admission &middot; "
+        f"{result.n_hosts} hosts &times; {result.slots_per_host} slots</p>"
+        '<div class="tiles">'
+        '<div class="tile hero"><div class="label">makespan (virtual s)</div>'
+        f'<div class="value">{result.wall_time:.2f}</div></div>'
+        '<div class="tile"><div class="label">jobs</div>'
+        f'<div class="value">{len(result.jobs)}</div></div>'
+        "</div>"
+    )
+    return (
+        "<!doctype html><html><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        '<meta name="viewport" content="width=device-width,initial-scale=1">'
+        + _style()
+        + "</head><body>"
+        + head
+        + "".join(sections)
+        + _SCRIPT
+        + "</body></html>"
+    )
+
+
 __all__ = [
     "export_csv",
     "export_prometheus",
     "fault_windows_from_schedule",
     "fault_windows_from_tracer",
     "render_dashboard",
+    "render_multijob_dashboard",
 ]

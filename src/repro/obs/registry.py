@@ -62,6 +62,22 @@ COUNTERS: frozenset[str] = frozenset(
         "netsim.prio_bytes.high",
         "netsim.prio_bytes.normal",
         "netsim.prio_bytes.bulk",
+        # multi-job co-tenancy attribution (repro.multijob.runner)
+        "multijob.job_bytes",
+        "multijob.contended_bytes",
+        "multijob.solo_bytes",
+    }
+)
+
+#: Counter-name *templates* with per-entity ``{...}`` segments (a tenant
+#: job name, …). Like :data:`TRACKS` templates, each placeholder binds
+#: exactly one dot-free segment — job names are validated against
+#: ``[A-Za-z0-9_-]+`` at JobSpec construction so instantiations stay
+#: single-segment.
+COUNTER_TEMPLATES: frozenset[str] = frozenset(
+    {
+        # per-tenant effective bytes drained by the shared fabric
+        "netsim.job_bytes.{job}",
     }
 )
 
@@ -109,6 +125,9 @@ TRACKS: frozenset[str] = frozenset(
         "osp.worker.{w}.staleness",
         "osp.worker.{w}.effective_bandwidth",
         "osp.worker.{w}.ics_backlog_bytes",
+        # per-tenant fabric occupancy; {job} is the co-tenant job name
+        "multijob.{job}.active_flows",
+        "multijob.{job}.inflight_bytes",
     }
 )
 
@@ -116,8 +135,15 @@ ALL_NAMES: frozenset[str] = COUNTERS | GAUGES | HISTOGRAMS
 
 
 def is_registered_counter(name: str) -> bool:
-    """Is ``name`` a declared recorder counter?"""
-    return name in COUNTERS
+    """Is ``name`` a declared recorder counter?
+
+    True for literal :data:`COUNTERS` members and for concrete
+    instantiations of the :data:`COUNTER_TEMPLATES` (one dot-free segment
+    per placeholder, same semantics as track templates).
+    """
+    if name in COUNTERS:
+        return True
+    return any(_template_matches(t, name) for t in COUNTER_TEMPLATES)
 
 
 def is_registered_track(name: str) -> bool:
@@ -165,12 +191,21 @@ def pattern_matches_registered(pattern: str, names: frozenset[str] = COUNTERS) -
     with an undeclared static prefix matches nothing.
     """
     glob = re.sub(r"\{[^}]*\}", "*", pattern)
-    return any(fnmatch.fnmatchcase(n, glob) for n in names)
+    if any(fnmatch.fnmatchcase(n, glob) for n in names):
+        return True
+    if names is COUNTERS:
+        # f-string producers of templated counters ("netsim.job_bytes.{job}")
+        # match a sample instantiation, exactly like track templates do.
+        regex = re.sub(r"\\\{[^}]*\\\}", r"[^.]+", re.escape(pattern))
+        samples = [re.sub(r"\{[^}]*\}", "0", t) for t in COUNTER_TEMPLATES]
+        return any(re.fullmatch(regex, s) for s in samples)
+    return False
 
 
 __all__ = [
     "ALL_NAMES",
     "COUNTERS",
+    "COUNTER_TEMPLATES",
     "GAUGES",
     "HISTOGRAMS",
     "TRACKS",

@@ -302,6 +302,28 @@ class WorkerProbe:
         return signals.items()
 
 
+class MultiJobProbe:
+    """Per-tenant fabric signals under ``multijob.{job}.*``.
+
+    Reads the multi-job runner's :class:`repro.multijob.FabricAccounting`
+    — active flow count and in-flight payload bytes per job — so a
+    sampled co-tenant run shows each tenant's traffic envelope on one
+    shared timeline.
+    """
+
+    def __init__(self, accounting, jobs: "Iterable[str]") -> None:
+        self.accounting = accounting
+        self.jobs = list(jobs)
+
+    def __call__(self, now: float) -> Iterable[tuple[str, float]]:
+        acct = self.accounting
+        for job in self.jobs:
+            yield f"multijob.{job}.active_flows", float(acct.active.get(job, 0))
+            yield f"multijob.{job}.inflight_bytes", float(
+                max(acct.inflight_bytes.get(job, 0.0), 0.0)
+            )
+
+
 def default_interval(trainer: "DistributedTrainer") -> float:
     """Half a base compute time: ≥2 samples per iteration, cheap rings."""
     base = trainer.engine.base_compute_time(trainer.spec)
@@ -318,6 +340,7 @@ def attach_standard_probes(sampler: MetricSampler, trainer: "DistributedTrainer"
 __all__ = [
     "DEFAULT_CAPACITY",
     "MetricSampler",
+    "MultiJobProbe",
     "NetworkProbe",
     "PSProbe",
     "Series",

@@ -52,6 +52,10 @@ class Span:
     parent: Optional[int] = None  # parent span's sid
     worker: Optional[int] = None
     iteration: Optional[int] = None
+    #: Owning co-tenant job (from the creating process's job namespace),
+    #: or None on single-tenant runs. Lets multi-job traces be filtered
+    #: per tenant even though worker ids are job-local.
+    job: Optional[str] = None
     attrs: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -121,7 +125,7 @@ class _NullSpan:
     name = actor = track = cat = ""
     start = 0.0
     end = 0.0
-    parent = worker = iteration = None
+    parent = worker = iteration = job = None
     duration = 0.0
 
 
@@ -225,6 +229,7 @@ class Tracer:
         stack = self._stack()
         if parent is None and stack:
             parent = stack[-1]
+        proc = getattr(self.env, "active_process", None)
         span = Span(
             sid=self._next_sid,
             name=name,
@@ -235,6 +240,7 @@ class Tracer:
             parent=None if parent is None else parent.sid,
             worker=worker,
             iteration=iteration,
+            job=None if proc is None else getattr(proc, "job", None),
             attrs=dict(attrs),
         )
         self._next_sid += 1

@@ -1,0 +1,248 @@
+"""Multi-job co-tenancy benchmark (``repro perf-multijob``).
+
+Two guarantees of the co-tenancy layer, measured and committed as
+``BENCH_multijob.json``:
+
+1. **Isolation** (``contended.improvement`` ≥ :data:`MIN_IMPROVEMENT`).
+   An OSP tenant shares every host with a best-effort BSP tenant whose
+   traffic is demoted to BULK (``repro.harness.cotenancy.
+   osp_with_background`` on a ``shared_fabric_runner``). With the priority
+   scheduler killed (``REPRO_NETPRIO=off``) the OSP RS stage fair-shares
+   its links with the background tenant's pushes; with priorities on, RS
+   (HIGH) and GIB (URGENT) traffic preempts BULK, so the p90 RS-stage wait
+   — rs_push + rs_barrier_wait + rs_pull per (worker, iteration), filtered
+   to the OSP tenant via the span's job dimension — collapses toward its
+   uncontended value. The off/on ratio is the guarded isolation factor.
+
+2. **Identity** (``identity.identical``). One job run through
+   ``repro.multijob`` on an exclusive identity placement must produce a
+   replay stream bit-identical (:func:`repro.check.stream_digest`) to the
+   same workload run directly through ``DistributedTrainer`` — the
+   co-tenancy layer is free when you are alone.
+
+All quantities are *virtual* seconds, so both numbers are deterministic
+for a given config; ``tests/perf/test_bench_multijob_guard.py`` guards
+the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.perf.hotpath import _env, get_path
+
+BENCH_SCHEMA = "repro.perf.multijob/v1"
+
+#: Minimum RS-stage p90 improvement (priorities off / on) for the OSP
+#: tenant while the background BSP tenant runs alongside.
+MIN_IMPROVEMENT = 1.5
+
+#: Dotted paths that must exist in a valid BENCH_multijob.json.
+REQUIRED_FIELDS = (
+    "schema",
+    "config.quick",
+    "config.card",
+    "config.workers",
+    "config.epochs",
+    "config.iterations",
+    "config.seed",
+    "contended.off.rs_stage_p90_s",
+    "contended.off.rs_stage_p50_s",
+    "contended.off.osp_wall_s",
+    "contended.off.bulk_wall_s",
+    "contended.off.osp_contended_share",
+    "contended.on.rs_stage_p90_s",
+    "contended.on.rs_stage_p50_s",
+    "contended.on.osp_wall_s",
+    "contended.on.bulk_wall_s",
+    "contended.on.osp_contended_share",
+    "contended.on.preemptions",
+    "contended.improvement",
+    "identity.identical",
+    "identity.direct_digest",
+    "identity.multijob_digest",
+)
+
+#: Ratios the guard requires to stay >= MIN_IMPROVEMENT.
+GUARDED_SPEEDUPS = ("contended.improvement",)
+
+
+def validate_bench(data: dict, min_improvement: float = MIN_IMPROVEMENT) -> list[str]:
+    """Schema + identity + regression check; returns a list of problems."""
+    problems: list[str] = []
+    for field in REQUIRED_FIELDS:
+        try:
+            get_path(data, field)
+        except (KeyError, TypeError):
+            problems.append(f"missing field: {field}")
+    if data.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema mismatch: expected {BENCH_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    for field in GUARDED_SPEEDUPS:
+        try:
+            value = float(get_path(data, field))
+        except (KeyError, TypeError, ValueError):
+            continue  # already reported as missing
+        if not value >= min_improvement:  # catches NaN too
+            problems.append(
+                f"regression: {field} = {value:.3f} < {min_improvement:.2f}"
+            )
+    try:
+        if get_path(data, "identity.identical") is not True:
+            problems.append("parity violation: identity.identical is not true")
+    except (KeyError, TypeError):
+        pass
+    try:
+        if get_path(data, "identity.direct_digest") != get_path(
+            data, "identity.multijob_digest"
+        ):
+            problems.append("parity violation: identity digests differ")
+    except (KeyError, TypeError):
+        pass
+    return problems
+
+
+# ------------------------------------------------------------- the workload
+def _contended_run(
+    prio_on: bool,
+    card: str,
+    n_workers: int,
+    n_epochs: int,
+    iterations: int,
+    seed: int,
+) -> dict:
+    """One co-tenant run (OSP + background BSP on shared hosts); returns
+    the OSP tenant's RS-stage wait distribution and both wall times."""
+    from repro.harness.cotenancy import osp_with_background, shared_fabric_runner
+
+    with _env(REPRO_NETPRIO=None if prio_on else "off"):
+        jobs = osp_with_background(
+            card_name=card,
+            n_workers=n_workers,
+            n_epochs=n_epochs,
+            iterations_per_epoch=iterations,
+            seed=seed,
+        )
+        runner = shared_fabric_runner(jobs)
+        tracer = runner.enable_tracing()
+        result = runner.run()
+
+    stage: dict[tuple, float] = {}
+    for s in tracer.spans_named("rs_push", "rs_barrier_wait", "rs_pull"):
+        if s.job != "osp":
+            continue
+        key = (s.worker, s.iteration)
+        stage[key] = stage.get(key, 0.0) + s.duration
+    waits = np.array(sorted(stage.values()))
+    osp, bulk = result["osp"], result["bulk"]
+    out = {
+        "rs_stage_p90_s": float(np.percentile(waits, 90)),
+        "rs_stage_p50_s": float(np.percentile(waits, 50)),
+        "osp_wall_s": osp.wall_time,
+        "bulk_wall_s": bulk.wall_time,
+        "osp_throughput": osp.result.throughput,
+        "bulk_throughput": bulk.result.throughput,
+        "osp_contended_share": osp.contended_share,
+        "osp_job_bytes": osp.job_bytes,
+        "bulk_job_bytes": bulk.job_bytes,
+        "pair_overlap_s": result.pair_overlap.get(frozenset(("osp", "bulk")), 0.0),
+    }
+    if prio_on:
+        out["preemptions"] = int(
+            result.network_stats.get("netsim.prio_preemptions", 0)
+        )
+    return out
+
+
+def _identity_section(
+    card: str, n_workers: int, n_epochs: int, iterations: int, seed: int
+) -> dict:
+    """Single-job-through-multijob must be bit-identical to a direct run."""
+    from repro.check import capture_stream, stream_digest
+    from repro.core.osp import OSP
+    from repro.harness.workloads import WorkloadConfig, timing_trainer
+    from repro.multijob import JobSpec, run_jobs
+
+    cfg = WorkloadConfig(
+        card,
+        n_workers=n_workers,
+        n_epochs=n_epochs,
+        iterations_per_epoch=iterations,
+        seed=seed,
+    )
+    trainer = timing_trainer(cfg, OSP())
+    direct = trainer.run()
+    direct_digest = stream_digest(capture_stream(trainer, direct))
+
+    solo = run_jobs([JobSpec(name="solo", workload=cfg, sync_factory=OSP)])
+    res = solo["solo"].result
+    multi_digest = stream_digest(capture_stream(res.context, res))
+    return {
+        "identical": direct_digest == multi_digest
+        and direct.wall_time == res.wall_time,
+        "direct_digest": direct_digest,
+        "multijob_digest": multi_digest,
+        "wall_s": direct.wall_time,
+    }
+
+
+# ------------------------------------------------------------------ driver
+def run_multijob_bench(
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the full co-tenancy benchmark; returns the BENCH dict."""
+    say = progress or (lambda _msg: None)
+    card = "vgg16-cifar10"
+    n_workers = 4
+    n_epochs = 2 if quick else 4
+    iterations = 6
+    seed = 7
+
+    say("contended: OSP + background BSP tenant on shared hosts, priorities off")
+    off = _contended_run(False, card, n_workers, n_epochs, iterations, seed)
+    say("contended: same co-tenancy, priorities on")
+    on = _contended_run(True, card, n_workers, n_epochs, iterations, seed)
+    say("identity: solo job via repro.multijob vs direct DistributedTrainer")
+    identity = _identity_section(
+        card, n_workers, 2 if quick else 3, iterations, seed
+    )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "quick": quick,
+            "card": card,
+            "workers": n_workers,
+            "epochs": n_epochs,
+            "iterations": iterations,
+            "seed": seed,
+        },
+        "contended": {
+            "off": off,
+            "on": on,
+            "improvement": off["rs_stage_p90_s"] / max(on["rs_stage_p90_s"], 1e-12),
+        },
+        "identity": identity,
+    }
+
+
+def save_bench(data: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "GUARDED_SPEEDUPS",
+    "MIN_IMPROVEMENT",
+    "REQUIRED_FIELDS",
+    "run_multijob_bench",
+    "save_bench",
+    "validate_bench",
+]

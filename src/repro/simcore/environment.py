@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from typing import Any, Generator, Optional
 
 from repro.simcore.events import Event, Timeout
@@ -42,6 +43,26 @@ class Environment:
         #: sampling observes the post-event state without ever scheduling
         #: events of its own — sampled runs stay bit-identical to unsampled.
         self.metric_sampler = None
+        #: Co-tenancy namespace: the job name processes created *right now*
+        #: are stamped with (see :meth:`job_scope`). ``None`` outside any
+        #: scope — the single-tenant default, with zero bookkeeping cost.
+        self.current_job: Optional[str] = None
+
+    @contextmanager
+    def job_scope(self, job: Optional[str]):
+        """Attribute processes (and their tracer spans) to a co-tenant job.
+
+        Purely passive namespacing: every :class:`Process` created while
+        the scope is open records ``job`` in its ``.job`` attribute, which
+        the tracer copies onto spans so multi-job traces can be filtered
+        per tenant. No events are created and virtual time is untouched,
+        so scoped runs stay bit-identical to unscoped ones.
+        """
+        prev, self.current_job = self.current_job, job
+        try:
+            yield self
+        finally:
+            self.current_job = prev
 
     @property
     def now(self) -> float:

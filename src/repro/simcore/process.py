@@ -27,6 +27,9 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Event | None = None
+        #: Owning co-tenant job (from the environment's open job_scope at
+        #: creation time), or None for single-tenant processes.
+        self.job = getattr(env, "current_job", None)
         # Bootstrap: resume the generator as soon as the sim starts/steps.
         init = Event(env)
         init.callbacks.append(self._resume)

@@ -33,9 +33,24 @@ SYNC_FACTORIES = {
     "r2sp": R2SP,
 }
 
+#: OSP goldens across workload cards beyond the vgg16 one pinned by
+#: test_stream_io.py — a conv net with aux towers, the deepest resnet,
+#: and the transformer card. Between them they exercise every
+#: layer-shape regime the timing engine models, so a schedule change
+#: that only bites large-tensor or many-layer cards still trips here.
+OSP_CARD_GOLDENS = (
+    "inceptionv3-cifar100",
+    "resnet101-imagenet",
+    "bertbase-squad",
+)
+
 
 def _golden_path(name: str) -> Path:
     return GOLDEN_DIR / f"{name}_vgg16_stream.jsonl"
+
+
+def _card_golden_path(card_name: str) -> Path:
+    return GOLDEN_DIR / f"osp_{card_name.replace('-', '_')}_stream.jsonl"
 
 
 def _fresh_stream(name: str):
@@ -54,16 +69,29 @@ def _fresh_stream(name: str):
     return capture_stream(trainer, result)
 
 
-@pytest.mark.parametrize("name", sorted(SYNC_FACTORIES))
-def test_fresh_run_matches_committed_golden(name):
-    golden = load_stream(_golden_path(name))
-    fresh = _fresh_stream(name)
+def _fresh_osp_card_stream(card_name: str):
+    from repro.core.osp import OSP
+
+    cfg = WorkloadConfig(
+        card_name=card_name,
+        n_workers=4,
+        n_epochs=2,
+        iterations_per_epoch=4,
+        sigma=0.1,
+        seed=7,
+    )
+    trainer = timing_trainer(cfg, OSP())
+    result = trainer.run()
+    return capture_stream(trainer, result)
+
+
+def _assert_matches_golden(label, golden, fresh):
     index = first_divergence(golden, fresh)
     if index is not None:
         g = golden[index] if index < len(golden) else None
         f = fresh[index] if index < len(fresh) else None
         pytest.fail(
-            f"{name} event stream diverged from golden at index {index}:\n"
+            f"{label} event stream diverged from golden at index {index}:\n"
             f"  golden: {g.render() if g else '<stream ended>'}\n"
             f"  fresh:  {f.render() if f else '<stream ended>'}\n"
             "If this change is intended, regenerate with: "
@@ -71,11 +99,30 @@ def test_fresh_run_matches_committed_golden(name):
         )
 
 
+@pytest.mark.parametrize("name", sorted(SYNC_FACTORIES))
+def test_fresh_run_matches_committed_golden(name):
+    golden = load_stream(_golden_path(name))
+    fresh = _fresh_stream(name)
+    _assert_matches_golden(name, golden, fresh)
+
+
+@pytest.mark.parametrize("card_name", OSP_CARD_GOLDENS)
+def test_osp_card_matches_committed_golden(card_name):
+    golden = load_stream(_card_golden_path(card_name))
+    fresh = _fresh_osp_card_stream(card_name)
+    _assert_matches_golden(f"osp/{card_name}", golden, fresh)
+
+
 if __name__ == "__main__":
     if len(sys.argv) > 1 and sys.argv[1] == "regen":
-        targets = sys.argv[2:] or sorted(SYNC_FACTORIES)
+        targets = sys.argv[2:] or sorted(SYNC_FACTORIES) + list(OSP_CARD_GOLDENS)
         for name in targets:
-            path = dump_stream(_fresh_stream(name), _golden_path(name))
+            if name in SYNC_FACTORIES:
+                path = dump_stream(_fresh_stream(name), _golden_path(name))
+            else:
+                path = dump_stream(
+                    _fresh_osp_card_stream(name), _card_golden_path(name)
+                )
             print(f"wrote {path} ({len(load_stream(path))} events)")
     else:
         print(__doc__)

@@ -1,0 +1,124 @@
+"""CLI surface: ``repro multirun`` and the hardened ``report --compare``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _multirun(*extra):
+    return main(
+        [
+            "multirun",
+            "--workers",
+            "2",
+            "--epochs",
+            "1",
+            "--iterations",
+            "2",
+            *extra,
+        ]
+    )
+
+
+def test_multirun_default_scenario_renders_report(capsys):
+    assert _multirun() == 0
+    out = capsys.readouterr().out
+    assert "osp" in out and "bulk" in out
+    assert "contended" in out
+
+
+def test_multirun_json_summary(capsys):
+    assert _multirun("--json") == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.multijob_summary/1"
+    assert set(doc["jobs"]) == {"osp", "bulk"}
+    assert doc["jobs"]["osp"]["sync"] == "osp"
+    assert doc["jobs"]["osp"]["job_bytes"] > 0
+
+
+def test_multirun_jobs_spec_inline_and_file(tmp_path, capsys):
+    spec = [
+        {"name": "a", "workload": "vgg16-cifar10", "sync": "bsp",
+         "workers": 2, "epochs": 1, "iterations": 2},
+        {"name": "b", "workload": "vgg16-cifar10", "sync": "asp",
+         "workers": 2, "epochs": 1, "iterations": 2, "background": True},
+    ]
+    assert _multirun("--jobs", json.dumps(spec), "--json") == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc["jobs"]) == {"a", "b"}
+
+    path = tmp_path / "jobs.json"
+    path.write_text(json.dumps(spec))
+    assert _multirun("--jobs", str(path), "--json") == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc["jobs"]) == {"a", "b"}
+
+
+def test_multirun_summary_and_dash_artifacts(tmp_path, capsys):
+    summary = tmp_path / "mj.json"
+    dash = tmp_path / "mj.html"
+    assert _multirun("--summary", str(summary), "--dash", str(dash)) == 0
+    doc = json.loads(summary.read_text())
+    assert doc["schema"] == "repro.multijob_summary/1"
+    assert "Interference" in dash.read_text()
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "not-a-file-or-json",
+        "[]",  # empty job list
+        '[{"name": "a.b"}]',  # dots are not legal counter segments
+        '[{"name": "a", "workload": "vgg16-cifar10", "sync": "bogus"}]',
+        '[{"name": "a", "workload": "vgg16-cifar10", "sync": "bsp", "frob": 1}]',
+    ],
+    ids=["missing-file", "empty-list", "bad-name", "bad-sync", "unknown-key"],
+)
+def test_multirun_bad_jobs_spec_exits_2(spec, capsys):
+    assert _multirun("--jobs", spec) == 2
+    assert "bad --jobs spec" in capsys.readouterr().err
+
+
+def test_report_compare_missing_file_exits_2(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    code = main(["report", "--compare", str(missing), str(missing)])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "summary file not found" in err
+    assert "--summary" in err  # the hint tells the user how to make one
+
+
+def test_report_compare_schema_mismatch_exits_2(tmp_path, capsys):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"schema": "something/else", "jobs": {}}))
+    code = main(["report", "--compare", str(bogus), str(bogus)])
+    assert code == 2
+    assert "not a comparable run summary" in capsys.readouterr().err
+
+
+def test_report_compare_corrupt_json_exits_2(tmp_path, capsys):
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    code = main(["report", "--compare", str(broken), str(broken)])
+    assert code == 2
+    assert "not a comparable run summary" in capsys.readouterr().err
+
+
+def test_report_compare_still_works_on_valid_summaries(tmp_path, capsys):
+    from repro.core.osp import OSP
+    from repro.harness.workloads import WorkloadConfig, timing_trainer
+    from repro.obs.compare import run_summary, save_summary
+
+    trainer = timing_trainer(
+        WorkloadConfig(
+            "vgg16-cifar10", n_workers=2, n_epochs=1, iterations_per_epoch=2
+        ),
+        OSP(),
+    )
+    res = trainer.run()
+    path = tmp_path / "run.json"
+    save_summary(run_summary(res), path)
+    assert main(["report", "--compare", str(path), str(path)]) == 0
+    assert "verdict: OK" in capsys.readouterr().out

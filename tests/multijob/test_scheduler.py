@@ -1,0 +1,96 @@
+"""Admission policies: immediate, FIFO ordering, bandwidth headroom."""
+
+import pytest
+
+from repro.harness.cotenancy import uniform_jobs
+from repro.multijob import JobSpec, MultiJobRunner, run_jobs
+from repro.simcore.environment import SimulationError
+
+
+def _jobs(n, workers=2):
+    return uniform_jobs(
+        n, n_workers=workers, n_epochs=1, iterations_per_epoch=2, seed=3
+    )
+
+
+def test_immediate_starts_everyone_at_zero():
+    res = run_jobs(_jobs(3), admission="immediate")
+    assert all(r.admitted == 0.0 for r in res.jobs.values())
+    # exclusive default pool sized to fit all three at once
+    assert res.n_hosts == sum(j.n_nodes for j in _jobs(3))
+
+
+def test_fifo_serializes_on_a_tight_pool():
+    jobs = _jobs(3)
+    res = run_jobs(jobs, n_hosts=jobs[0].n_nodes, admission="fifo")
+    j0, j1, j2 = (res.jobs[f"j{i}"] for i in range(3))
+    assert j0.admitted == 0.0
+    assert j1.admitted == pytest.approx(j0.finished)
+    assert j2.admitted == pytest.approx(j1.finished)
+    assert j1.queue_wait > 0.0
+    # per-job wall time excludes the queue wait
+    assert j2.wall_time == pytest.approx(j2.finished - j2.admitted)
+
+
+def test_fifo_preserves_submission_order_even_when_later_fits():
+    # j0 (wide) can't fit until enough hosts free; j1 (narrow) COULD fit
+    # immediately but must not overtake.
+    def _named(name, workers, seed):
+        j = uniform_jobs(
+            1, n_workers=workers, n_epochs=1, iterations_per_epoch=2, seed=seed
+        )[0]
+        return JobSpec(name=name, workload=j.workload, sync_factory=j.sync_factory)
+
+    wide = _named("wide", 4, 3)
+    narrow = _named("narrow", 1, 9)
+    blocker = _named("blocker", 2, 5)
+    # pool of 5: blocker (3 nodes) admits first, wide (5 nodes) waits,
+    # narrow (2 nodes) would fit beside blocker but queues behind wide.
+    res = run_jobs([blocker, wide, narrow], n_hosts=5, admission="fifo")
+    assert res.jobs["blocker"].admitted == 0.0
+    assert res.jobs[wide.name].admitted == pytest.approx(
+        res.jobs["blocker"].finished
+    )
+    assert res.jobs[narrow.name].admitted >= res.jobs[wide.name].admitted
+
+
+def test_bandwidth_gate_limits_concurrent_offered_load():
+    jobs = _jobs(3)  # 2 workers each -> demand 2 lines/job
+    # 9 hosts, headroom 0.5 -> capacity 4.5 lines: two jobs fit, not three
+    res = run_jobs(jobs, n_hosts=9, admission="bandwidth", headroom=0.5)
+    admits = sorted(r.admitted for r in res.jobs.values())
+    assert admits[0] == admits[1] == 0.0
+    assert admits[2] > 0.0
+
+
+def test_bandwidth_with_full_headroom_matches_fifo_placement_gate():
+    jobs = _jobs(2)
+    bw = run_jobs(jobs, n_hosts=12, admission="bandwidth", headroom=1.0)
+    fifo = run_jobs(jobs, n_hosts=12, admission="fifo")
+    assert [bw.jobs[j.name].admitted for j in jobs] == [
+        fifo.jobs[j.name].admitted for j in jobs
+    ]
+
+
+def test_unplaceable_job_deadlocks_loudly():
+    jobs = _jobs(1, workers=8)  # needs 9 hosts
+    with pytest.raises(SimulationError):
+        run_jobs(jobs, n_hosts=4, admission="fifo")
+
+
+def test_immediate_on_too_small_pool_raises_placement_error():
+    jobs = _jobs(2)
+    with pytest.raises(RuntimeError, match="cannot place"):
+        run_jobs(jobs, n_hosts=jobs[0].n_nodes, admission="immediate")
+
+
+def test_runner_rejects_bad_config():
+    with pytest.raises(ValueError, match="at least one job"):
+        MultiJobRunner([])
+    jobs = _jobs(1) + _jobs(1)
+    with pytest.raises(ValueError, match="duplicate job names"):
+        MultiJobRunner(jobs)
+    with pytest.raises(ValueError, match="admission mode"):
+        MultiJobRunner(_jobs(1), admission="bogus")
+    with pytest.raises(ValueError, match="placement mode"):
+        MultiJobRunner(_jobs(1), placement="bogus")

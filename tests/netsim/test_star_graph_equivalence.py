@@ -1,0 +1,121 @@
+"""Property test: GraphTopology over a star-shaped graph ≡ StarTopology.
+
+StarTopology is the hand-rolled fast path for the paper's single-rack
+testbed; GraphTopology is the general shortest-path router. For any star
+— including heterogeneous per-node link specs — the two must be
+indistinguishable: every route crosses the same links (same specs, same
+order, host-uplink then host-downlink), and a fluid-flow Network driving
+identical staggered transfer schedules over either topology drains every
+flow at the same instant. Hypothesis sweeps node counts, per-node
+bandwidth/latency heterogeneity, and overlapping transfer schedules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.netsim.links import LinkSpec
+from repro.netsim.network import Network
+from repro.netsim.topology import SWITCH, GraphTopology, StarTopology
+from repro.simcore.environment import Environment
+
+# Bounded, well-scaled floats: the property is about routing/fair-share
+# equivalence, not float-edge-case handling in LinkSpec itself.
+_bandwidths = st.floats(min_value=1.0, max_value=1e4)
+_latencies = st.floats(min_value=0.0, max_value=0.5)
+_sizes = st.floats(min_value=1.0, max_value=1e6)
+_delays = st.floats(min_value=0.0, max_value=10.0)
+
+
+@st.composite
+def star_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    specs = [
+        LinkSpec(bandwidth=draw(_bandwidths), latency=draw(_latencies))
+        for _ in range(n)
+    ]
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(_sizes),
+            draw(_delays),
+        )
+        for _ in range(n_flows)
+    ]
+    return n, specs, flows
+
+
+def _star_topology(n, specs):
+    return StarTopology(
+        n, default_spec=specs[0], overrides={i: s for i, s in enumerate(specs)}
+    )
+
+
+def _star_graph(n, specs):
+    g = nx.DiGraph()
+    for i, spec in enumerate(specs):
+        g.add_edge(i, SWITCH, spec=spec)   # uplink
+        g.add_edge(SWITCH, i, spec=spec)   # downlink
+    return GraphTopology(g)
+
+
+def _drain(topology, flows):
+    """Run the transfer schedule; return each flow's (start, end) times."""
+    env = Environment()
+    net = Network(env, topology)
+    records = []
+
+    def _submit(src, dst, size):
+        def _driver():
+            done = net.transfer(src, dst, size)
+            rec = yield done
+            records.append((rec.start_time, rec.end_time))
+
+        return _driver
+
+    drivers = []
+    for src, dst, size, delay in flows:
+
+        def _delayed(src=src, dst=dst, size=size, delay=delay):
+            yield env.timeout(delay)
+            yield from _submit(src, dst, size)()
+
+        drivers.append(env.process(_delayed()))
+    env.run(until=env.all_of(drivers))
+    return records
+
+
+@settings(max_examples=60, deadline=None)
+@given(star_cases())
+def test_routes_cross_equivalent_links(case):
+    n, specs, _flows = case
+    star = _star_topology(n, specs)
+    graph = _star_graph(n, specs)
+    for src in range(n):
+        for dst in range(n):
+            s_route = star.route(src, dst)
+            g_route = graph.route(src, dst)
+            assert len(s_route) == len(g_route)
+            assert [l.spec for l in s_route] == [l.spec for l in g_route]
+            if src != dst:
+                # same physical hops in the same order
+                assert [l.name for l in s_route] == [f"up:{src}", f"down:{dst}"]
+                assert [l.name for l in g_route] == [
+                    f"{src}->{SWITCH}",
+                    f"{SWITCH}->{dst}",
+                ]
+            assert star.route_latency(src, dst) == graph.route_latency(src, dst)
+
+
+@settings(max_examples=40, deadline=None)
+@given(star_cases())
+def test_fluid_drain_times_identical(case):
+    n, specs, flows = case
+    star_times = _drain(_star_topology(n, specs), flows)
+    graph_times = _drain(_star_graph(n, specs), flows)
+    # Same link specs + same flow arrival order = the max-min fair-share
+    # computation runs through identical arithmetic: bit-equal, not approx.
+    assert star_times == graph_times

@@ -12,6 +12,7 @@ from pathlib import Path
 from repro.obs.registry import (
     ALL_NAMES,
     COUNTERS,
+    COUNTER_TEMPLATES,
     GAUGES,
     HISTOGRAMS,
     TRACKS,
@@ -34,7 +35,7 @@ _OBSERVE = re.compile(r"""\.observe\(\s*(f?)(['"])([^'"]+)\2""")
 #: *and* consumer sites (probes, health, dashboard lookups) statically,
 #: including ones a given test run never executes.
 _TRACK_LITERAL = re.compile(
-    r"""(f?)(['"])((?:timeseries|osp\.worker)\.[^'"]+)\2"""
+    r"""(f?)(['"])((?:timeseries|osp\.worker|multijob)\.[^'"]+)\2"""
 )
 
 
@@ -87,12 +88,19 @@ def test_every_histogram_call_site_is_registered():
 
 
 def test_every_track_literal_is_registered():
-    # Literals ending in '.' are startswith()-style prefixes, not names.
-    sites = [s for s in _call_sites(_TRACK_LITERAL) if not s[2].endswith(".")]
+    # Literals ending in '.' are startswith()-style prefixes, not names;
+    # the multijob namespace holds counters too — those sites are linted
+    # by the .incr sweep above, not the track sweep.
+    sites = [
+        s
+        for s in _call_sites(_TRACK_LITERAL)
+        if not s[2].endswith(".") and not is_registered_counter(s[2])
+    ]
     assert sites, "lint found no time-series track literals — regex rot?"
     names = {name for _p, _f, name in sites}
     assert "timeseries.net.inflight_bytes" in names  # the NetworkProbe site
     assert any(n.startswith("osp.worker.") for n in names)
+    assert any(n.startswith("multijob.") for n in names)  # the MultiJobProbe site
     for path, _is_fstring, name in sites:
         assert track_pattern_matches_registered(name), (
             f"{path}: time-series track {name!r} matches no registered "
@@ -101,7 +109,7 @@ def test_every_track_literal_is_registered():
 
 
 def test_registry_namespaces_are_well_formed():
-    for name in ALL_NAMES:
+    for name in ALL_NAMES | COUNTER_TEMPLATES:
         prefix = name.split(".", 1)[0]
         assert prefix in {
             "osp",
@@ -111,10 +119,11 @@ def test_registry_namespaces_are_well_formed():
             "elastic",
             "check",
             "netsim",
+            "multijob",
         }, name
     for name in TRACKS:
         prefix = name.split(".", 1)[0]
-        assert prefix in {"timeseries", "osp"}, name
+        assert prefix in {"timeseries", "osp", "multijob"}, name
         assert "{" not in prefix
 
 
@@ -122,6 +131,12 @@ def test_pattern_matching_semantics():
     assert pattern_matches_registered("faults.{ev.kind}")
     assert not pattern_matches_registered("bogus.{x}")
     assert pattern_matches_registered("osp.deadline_miss")
+    # templated counters: concrete instantiations and f-string producers
+    assert is_registered_counter("netsim.job_bytes.osp")
+    assert is_registered_counter("multijob.job_bytes")
+    assert not is_registered_counter("netsim.job_bytes.a.b")
+    assert pattern_matches_registered("netsim.job_bytes.{job}")
+    assert not pattern_matches_registered("netsim.job_seconds.{job}")
 
 
 def test_track_matching_semantics():

@@ -1,0 +1,93 @@
+"""Tier-1 guard over the committed co-tenancy baseline.
+
+Fails when ``BENCH_multijob.json`` is missing, missing a schema field,
+records the solo-job-through-multijob path as not bit-identical to the
+direct ``DistributedTrainer`` run, or shows the OSP tenant's RS-stage p90
+isolation factor (priorities off / on, with a background BULK tenant on
+the same hosts) below the guarded minimum — i.e. when the co-tenancy
+layer has either stopped protecting the latency-sensitive tenant or
+(worse) started perturbing single-job runs.
+
+The guarded ratio is a quotient of two *virtual-time* percentiles, so the
+committed number is deterministic for the committed config — a drop means
+the scheduler's or the placement layer's behavior changed.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+from repro.perf.hotpath import get_path
+from repro.perf.multijob import (
+    BENCH_SCHEMA,
+    GUARDED_SPEEDUPS,
+    MIN_IMPROVEMENT,
+    REQUIRED_FIELDS,
+    validate_bench,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_multijob.json"
+
+
+def _load():
+    assert BENCH_PATH.exists(), (
+        f"{BENCH_PATH} missing — regenerate with `make bench-multijob-full` "
+        "(or `python -m repro perf-multijob`)"
+    )
+    return json.loads(BENCH_PATH.read_text())
+
+
+def test_committed_bench_has_all_schema_fields():
+    data = _load()
+    assert data["schema"] == BENCH_SCHEMA
+    for field in REQUIRED_FIELDS:
+        get_path(data, field)  # KeyError -> test failure names the field
+
+
+def test_committed_bench_valid_and_isolation_holds():
+    problems = validate_bench(_load(), min_improvement=MIN_IMPROVEMENT)
+    assert problems == []
+
+
+def test_committed_bench_single_job_fingerprint_identical():
+    identity = _load()["identity"]
+    assert identity["identical"] is True
+    assert identity["direct_digest"] == identity["multijob_digest"]
+
+
+def test_committed_bench_shows_real_contention():
+    """The contended run must actually co-locate the tenants: the OSP job
+    saw contended traffic, the fabrics overlapped, and with priorities on
+    the scheduler preempted the background tenant at least once."""
+    cont = _load()["contended"]
+    assert cont["off"]["osp_contended_share"] > 0
+    assert cont["off"]["pair_overlap_s"] > 0
+    assert cont["on"]["preemptions"] > 0
+    # both tenants moved real traffic over the shared fabric
+    assert cont["off"]["osp_job_bytes"] > 0
+    assert cont["off"]["bulk_job_bytes"] > 0
+
+
+def test_validate_bench_flags_problems():
+    data = _load()
+    broken = copy.deepcopy(data)
+    del broken["contended"]["improvement"]
+    assert any("contended.improvement" in p for p in validate_bench(broken))
+
+    slow = copy.deepcopy(data)
+    slow["contended"]["improvement"] = 1.01
+    assert any("regression" in p for p in validate_bench(slow))
+
+    diverged = copy.deepcopy(data)
+    diverged["identity"]["identical"] = False
+    assert any("identity.identical" in p for p in validate_bench(diverged))
+
+    forged = copy.deepcopy(data)
+    forged["identity"]["multijob_digest"] = "0" * 64
+    assert any("digests differ" in p for p in validate_bench(forged))
+
+    wrong = copy.deepcopy(data)
+    wrong["schema"] = "bogus/v0"
+    assert any("schema mismatch" in p for p in validate_bench(wrong))
+
+    assert GUARDED_SPEEDUPS  # the guard list itself must not be empty
